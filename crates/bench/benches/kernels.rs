@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the simulation kernels: gate application on
+//! statevectors and density matrices, the fast CX/RZ paths, transpilation,
+//! and the distribution statistics the convergence checker consumes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qoncord_circuit::coupling::CouplingMap;
+use qoncord_circuit::transpile::transpile;
+use qoncord_sim::density::DensityMatrix;
+use qoncord_sim::dist::ProbDist;
+use qoncord_sim::gates;
+use qoncord_sim::statevector::StateVector;
+use qoncord_vqa::graph::Graph;
+use qoncord_vqa::qaoa;
+
+fn bench_statevector_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for n in [7usize, 10, 14] {
+        group.bench_function(format!("apply_2q_generic/{n}q"), |b| {
+            let mut sv = StateVector::zero_state(n);
+            let u = gates::cx();
+            b.iter(|| sv.apply_2q(&u, 0, n - 1));
+        });
+        group.bench_function(format!("apply_cx_fast/{n}q"), |b| {
+            let mut sv = StateVector::zero_state(n);
+            b.iter(|| sv.apply_cx_fast(0, n - 1));
+        });
+        group.bench_function(format!("apply_rz_fast/{n}q"), |b| {
+            let mut sv = StateVector::zero_state(n);
+            b.iter(|| sv.apply_rz_fast(0.3, n / 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density");
+    for n in [5usize, 7, 8] {
+        group.bench_function(format!("apply_2q_generic/{n}q"), |b| {
+            let mut rho = DensityMatrix::zero_state(n);
+            let u = gates::cx();
+            b.iter(|| rho.apply_2q(&u, 0, n - 1));
+        });
+        group.bench_function(format!("apply_cx_fast/{n}q"), |b| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| rho.apply_cx_fast(0, n - 1));
+        });
+        group.bench_function(format!("depolarizing_2q/{n}q"), |b| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| rho.apply_depolarizing_2q(0.01, 0, n - 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    let graph = Graph::paper_graph_7();
+    for layers in [1usize, 3] {
+        let circuit = qaoa::build_circuit(&graph, layers);
+        group.bench_function(format!("qaoa7_to_falcon/{layers}layers"), |b| {
+            b.iter_batched(
+                CouplingMap::falcon_27,
+                |map| transpile(&circuit, &map),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist");
+    let dist = ProbDist::uniform(10);
+    let other = ProbDist::point_mass(10, 1).mix(&ProbDist::uniform(10), 0.5);
+    group.bench_function("shannon_entropy/10q", |b| b.iter(|| dist.shannon_entropy()));
+    group.bench_function("hellinger_fidelity/10q", |b| {
+        b.iter(|| dist.hellinger_fidelity(&other))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_statevector_gates, bench_density_gates, bench_transpile, bench_distribution_stats
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! End-to-end benchmarks of the scheduler stack: one noisy QAOA evaluation,
+//! one SPSA step, restart clustering, and the Fig. 12 queue simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qoncord_cloud::device::hypothetical_fleet;
+use qoncord_cloud::policy::Policy;
+use qoncord_cloud::sim::simulate;
+use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+use qoncord_core::cluster::{select_restarts, SelectionPolicy};
+use qoncord_device::catalog;
+use qoncord_device::noise_model::SimulatedBackend;
+use qoncord_vqa::evaluator::{CostEvaluator, QaoaEvaluator};
+use qoncord_vqa::optimizer::{Optimizer, Spsa};
+use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noisy_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(10);
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    for layers in [1usize, 3] {
+        let backend = SimulatedBackend::from_calibration(catalog::ibmq_toronto());
+        let mut eval = QaoaEvaluator::new(&problem, layers, backend, 0);
+        let params = vec![0.3; 2 * layers];
+        group.bench_function(format!("qaoa7_density/{layers}layers"), |b| {
+            b.iter(|| eval.evaluate(&params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spsa_step(c: &mut Criterion) {
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    let backend = SimulatedBackend::from_calibration(catalog::ibmq_toronto());
+    let mut eval = QaoaEvaluator::new(&problem, 1, backend, 0);
+    let mut spsa = Spsa::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut params = vec![0.4, 0.2];
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("spsa_step_noisy_qaoa7", |b| {
+        b.iter(|| {
+            let mut objective = |p: &[f64]| eval.evaluate(p).expectation;
+            spsa.step(&mut params, &mut objective, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let values: Vec<f64> = (0..200)
+        .map(|i| if i % 3 == 0 { -6.8 + 0.01 * i as f64 % 0.2 } else { -4.0 })
+        .collect();
+    c.bench_function("cluster/select_restarts_200", |b| {
+        b.iter(|| select_restarts(&values, SelectionPolicy::TopCluster));
+    });
+}
+
+fn bench_queue_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloud");
+    group.sample_size(10);
+    let jobs = generate_workload(&WorkloadConfig {
+        n_jobs: 1000,
+        vqa_ratio: 0.5,
+        ..WorkloadConfig::default()
+    });
+    let fleet = hypothetical_fleet(10, 0.3, 0.9);
+    for policy in [Policy::LeastBusy, Policy::Qoncord] {
+        group.bench_function(format!("simulate_1000_jobs/{policy}"), |b| {
+            b.iter(|| simulate(policy, &jobs, &fleet, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_noisy_evaluation,
+    bench_spsa_step,
+    bench_clustering,
+    bench_queue_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Fig. 1 — the motivating timeline: a 3-restart VQA task executed (a) on
+//! single devices, where ibmq_kolkata wins on quality but queues behind 3x
+//! more pending jobs, and (b) under Qoncord, which explores on the low-load
+//! ibmq_toronto, terminates weak restarts, and fine-tunes on ibmq_kolkata
+//! (the paper reports a 2.14x faster time-to-solution).
+
+use qoncord_bench::{fmt, print_table, ExperimentArgs};
+use qoncord_core::cluster::SelectionPolicy;
+use qoncord_core::executor::QaoaFactory;
+use qoncord_core::scheduler::{run_single_device, QoncordConfig, QoncordScheduler};
+use qoncord_device::catalog;
+use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+
+/// Effective wait per circuit execution, seconds. The HF device queues 3x
+/// deeper in jobs (Fig. 1's premise), and per-job waits compound: Table I
+/// shows order-of-magnitude wait gaps between low- and high-fidelity
+/// machines, so a conservative 10x effective gap is used here.
+const LF_QUEUE_DELAY_S: f64 = 0.3;
+const HF_QUEUE_DELAY_S: f64 = 3.0;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let restarts = args.restarts(3, 3);
+    let iterations = args.scale(30, 100);
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    let factory = QaoaFactory {
+        problem: problem.clone(),
+        layers: 1,
+    };
+    let lf = catalog::ibmq_toronto();
+    let hf = catalog::ibmq_kolkata();
+    // Baseline (a): every restart end-to-end on each single device.
+    let lf_report = run_single_device(&lf, &factory, restarts, iterations, args.seed);
+    let hf_report = run_single_device(&hf, &factory, restarts, iterations, args.seed);
+    // Qoncord (b).
+    // Fig. 1(b) terminates the weakest of the three restarts after cheap
+    // exploration; with only three restarts the cluster test lacks samples,
+    // so the explicit top-2 policy reproduces the figure's schedule.
+    let config = QoncordConfig {
+        exploration_max_iterations: iterations / 2,
+        finetune_max_iterations: iterations / 2,
+        min_fidelity: 0.0,
+        selection: SelectionPolicy::TopK(2),
+        seed: args.seed,
+        ..QoncordConfig::default()
+    };
+    let q_report = QoncordScheduler::new(config)
+        .run(&[lf.clone(), hf.clone()], &factory, restarts)
+        .expect("two viable devices");
+    // Wall-clock model: every circuit execution pays the device's queue delay.
+    let lf_time = lf_report.total_executions() as f64 * LF_QUEUE_DELAY_S;
+    let hf_time = hf_report.total_executions() as f64 * HF_QUEUE_DELAY_S;
+    let q_time: f64 = q_report
+        .devices
+        .iter()
+        .map(|d| {
+            let delay = if d.device == "ibmq_toronto" {
+                LF_QUEUE_DELAY_S
+            } else {
+                HF_QUEUE_DELAY_S
+            };
+            d.executions as f64 * delay
+        })
+        .sum();
+    let rows = vec![
+        vec![
+            "LF only (ibmq_toronto)".to_string(),
+            fmt(lf_report.best_approximation_ratio(), 3),
+            lf_report.total_executions().to_string(),
+            fmt(lf_time, 0),
+            fmt(1.0, 2),
+        ],
+        vec![
+            "HF only (ibmq_kolkata)".to_string(),
+            fmt(hf_report.best_approximation_ratio(), 3),
+            hf_report.total_executions().to_string(),
+            fmt(hf_time, 0),
+            fmt(hf_time / hf_time, 2),
+        ],
+        vec![
+            "Qoncord".to_string(),
+            fmt(q_report.best_approximation_ratio(), 3),
+            q_report.total_executions().to_string(),
+            fmt(q_time, 0),
+            fmt(hf_time / q_time, 2),
+        ],
+    ];
+    println!("Fig. 1: motivation — single-device baselines vs Qoncord ({restarts} restarts)\n");
+    print_table(
+        &["Mode", "best approx ratio", "executions", "makespan (s)", "speedup vs HF"],
+        &rows,
+    );
+    println!(
+        "\nQoncord terminated {} of {} restarts after cheap exploration;",
+        q_report.terminated_restarts(),
+        restarts
+    );
+    println!("paper reports 2.14x faster than HF-only at matched quality.");
+}

@@ -1,0 +1,59 @@
+//! Fig. 12 — fidelity-throughput frontier of the six scheduling policies on
+//! a simulated cloud of 10 hypothetical devices (fidelities 0.3–0.9) under
+//! a 1000-job workload with VQA ratios 0.1–0.9. Qoncord's points sit
+//! closest to the ideal top-right corner.
+
+use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
+use qoncord_cloud::device::hypothetical_fleet;
+use qoncord_cloud::policy::Policy;
+use qoncord_cloud::sim::simulate;
+use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let n_jobs = args.scale(300, 1000);
+    let fleet = hypothetical_fleet(10, 0.3, 0.9);
+    let best_fidelity = 0.9;
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for policy in Policy::all() {
+        for &ratio in &ratios {
+            let jobs = generate_workload(&WorkloadConfig {
+                n_jobs,
+                vqa_ratio: ratio,
+                seed: args.seed,
+                ..WorkloadConfig::default()
+            });
+            let result = simulate(policy, &jobs, &fleet, args.seed);
+            let throughput = result.throughput();
+            let fidelity = result.mean_relative_fidelity(best_fidelity);
+            rows.push(vec![
+                policy.label().to_string(),
+                fmt(ratio, 1),
+                fmt(throughput, 2),
+                fmt(fidelity, 3),
+                fmt(result.load_imbalance(), 2),
+            ]);
+            csv.push(vec![
+                policy.label().to_string(),
+                fmt(ratio, 1),
+                fmt(throughput, 4),
+                fmt(fidelity, 4),
+            ]);
+        }
+    }
+    println!(
+        "Fig. 12: fidelity-throughput analysis ({n_jobs} jobs, 10 devices, fidelity 0.3-0.9)\n"
+    );
+    print_table(
+        &["Policy", "VQA ratio", "throughput (circ/s)", "rel. fidelity", "load CV"],
+        &rows,
+    );
+    println!("\n(Qoncord rows should dominate: fidelity near Best Fidelity at throughput near Least Busy)");
+    write_csv(
+        "fig12_queue_sim.csv",
+        &["policy", "vqa_ratio", "throughput", "relative_fidelity"],
+        &csv,
+    );
+}

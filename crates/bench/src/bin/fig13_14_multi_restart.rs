@@ -1,0 +1,152 @@
+//! Figs. 13 & 14 — end-to-end multi-restart optimization of a 7-qubit
+//! 3-layer QAOA: approximation-ratio distribution (Fig. 13) and per-device
+//! circuit-execution overhead (Fig. 14) for LF-only, HF-only, and Qoncord.
+//!
+//! Paper shape: Qoncord matches the HF-only maximum, lifts the mean by
+//! ≥ 20 %, terminates most restarts at triage (31 of 50), and leaves ~70 %
+//! of its executions on the LF device. `--ablate` compares the relaxed/strict
+//! convergence tiers against strict-everywhere and relaxed-everywhere.
+
+use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
+use qoncord_core::convergence::ConvergenceConfig;
+use qoncord_core::executor::QaoaFactory;
+use qoncord_core::scheduler::{run_single_device, QoncordConfig, QoncordReport, QoncordScheduler};
+use qoncord_device::catalog;
+use qoncord_vqa::metrics::BoxStats;
+use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+
+fn ratios(report: &QoncordReport) -> Vec<f64> {
+    report
+        .restarts
+        .iter()
+        .map(|r| {
+            qoncord_vqa::metrics::approximation_ratio(r.final_expectation, report.ground_energy)
+        })
+        .collect()
+}
+
+fn stats_row(label: &str, samples: &[f64], executions: &[(String, u64)]) -> Vec<String> {
+    let s = BoxStats::from_samples(samples);
+    let execs: String = executions
+        .iter()
+        .map(|(d, e)| format!("{d}: {e}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    vec![
+        label.to_string(),
+        fmt(s.min, 3),
+        fmt(s.median, 3),
+        fmt(s.mean, 3),
+        fmt(s.max, 3),
+        execs,
+    ]
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let restarts = args.restarts(16, 50);
+    let iterations = args.scale(36, 100);
+    let layers = 3;
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    let factory = QaoaFactory {
+        problem: problem.clone(),
+        layers,
+    };
+    let lf = catalog::ibmq_toronto();
+    let hf = catalog::ibmq_kolkata();
+    println!(
+        "Figs. 13/14: 7q {layers}-layer QAOA, {restarts} restarts (ground {:.2})\n",
+        problem.ground_energy()
+    );
+    let lf_report = run_single_device(&lf, &factory, restarts, iterations, args.seed);
+    let hf_report = run_single_device(&hf, &factory, restarts, iterations, args.seed);
+    let config = QoncordConfig {
+        // The paper assesses restarts ~40% through training, so exploration
+        // carries the larger share of the per-restart budget.
+        exploration_max_iterations: iterations * 3 / 5,
+        finetune_max_iterations: iterations * 2 / 5,
+        // The paper itself runs Toronto at 3 layers despite its sub-0.1
+        // estimate in Fig. 8, so the filter is disabled for this experiment.
+        min_fidelity: 0.0,
+        seed: args.seed,
+        ..QoncordConfig::default()
+    };
+    let q_report = QoncordScheduler::new(config.clone())
+        .run(&[lf.clone(), hf.clone()], &factory, restarts)
+        .expect("devices viable");
+    let execs = |r: &QoncordReport| -> Vec<(String, u64)> {
+        r.devices
+            .iter()
+            .map(|d| (d.device.clone(), d.executions))
+            .collect()
+    };
+    let mut rows = vec![
+        stats_row("LF only", &ratios(&lf_report), &execs(&lf_report)),
+        stats_row("HF only", &ratios(&hf_report), &execs(&hf_report)),
+        stats_row("Qoncord", &q_report.survivor_ratios(), &execs(&q_report)),
+    ];
+    if args.ablate {
+        for (label, relaxed, strict) in [
+            (
+                "Qoncord strict-everywhere",
+                ConvergenceConfig::strict(),
+                ConvergenceConfig::strict(),
+            ),
+            (
+                "Qoncord relaxed-everywhere",
+                ConvergenceConfig::relaxed(),
+                ConvergenceConfig::relaxed(),
+            ),
+        ] {
+            let cfg = QoncordConfig {
+                relaxed,
+                strict,
+                ..config.clone()
+            };
+            let rep = QoncordScheduler::new(cfg)
+                .run(&[lf.clone(), hf.clone()], &factory, restarts)
+                .expect("devices viable");
+            rows.push(stats_row(label, &rep.survivor_ratios(), &execs(&rep)));
+        }
+    }
+    print_table(
+        &["Mode", "min", "median", "mean", "max", "executions per device"],
+        &rows,
+    );
+    let lf_share = q_report.devices[0].executions as f64
+        / q_report.total_executions().max(1) as f64;
+    println!(
+        "\nQoncord: {} of {restarts} restarts terminated at triage; LF executes {:.0}% of circuits",
+        q_report.terminated_restarts(),
+        lf_share * 100.0
+    );
+    println!("(paper: 31/50 terminated; LF share 70%; Qoncord mean >= 20% above single-device)");
+    let mut csv = Vec::new();
+    for (label, report) in [
+        ("lf", &lf_report),
+        ("hf", &hf_report),
+        ("qoncord", &q_report),
+    ] {
+        for (i, ratio) in ratios(report).iter().enumerate() {
+            csv.push(vec![label.to_string(), i.to_string(), fmt(*ratio, 6)]);
+        }
+    }
+    write_csv("fig13_ratios.csv", &["mode", "restart", "approx_ratio"], &csv);
+    let overhead: Vec<Vec<String>> = [
+        ("lf", &lf_report),
+        ("hf", &hf_report),
+        ("qoncord", &q_report),
+    ]
+    .iter()
+    .flat_map(|(label, r)| {
+        r.devices.iter().map(move |d| {
+            vec![
+                label.to_string(),
+                d.device.clone(),
+                d.executions.to_string(),
+            ]
+        })
+    })
+    .collect();
+    write_csv("fig14_overhead.csv", &["mode", "device", "executions"], &overhead);
+}

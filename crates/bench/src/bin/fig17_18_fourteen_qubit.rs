@@ -1,0 +1,124 @@
+//! Figs. 17 & 18 — the 14-qubit 1-layer QAOA sensitivity study on three
+//! hypothetical depolarizing device models (0.1 % / 0.5 % / 1 % two-qubit
+//! and readout error), simulated with Monte-Carlo trajectories (the paper
+//! used GPU density matrices; see DESIGN.md's substitution table).
+
+use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
+use qoncord_core::executor::EvaluatorFactory;
+use qoncord_core::scheduler::{run_single_device, QoncordConfig, QoncordReport, QoncordScheduler};
+use qoncord_device::catalog::hypothetical_depolarizing;
+use qoncord_device::noise_model::{BackendKind, SimulatedBackend};
+use qoncord_vqa::evaluator::{CostEvaluator, QaoaEvaluator};
+use qoncord_vqa::metrics::BoxStats;
+use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+
+/// QAOA factory that pins the trajectory count (the Auto default of 48 is
+/// sized for accuracy; the quick scale trades precision for wall-clock).
+struct TrajectoryQaoaFactory {
+    problem: MaxCut,
+    layers: usize,
+    n_trajectories: u32,
+}
+
+impl EvaluatorFactory for TrajectoryQaoaFactory {
+    fn make(&self, backend: SimulatedBackend, seed: u64) -> Box<dyn CostEvaluator> {
+        let backend = backend.with_kind(BackendKind::Trajectory {
+            n_trajectories: self.n_trajectories,
+        });
+        Box::new(QaoaEvaluator::new(&self.problem, self.layers, backend, seed))
+    }
+}
+
+fn ratio_stats(report: &QoncordReport, survivors_only: bool) -> BoxStats {
+    let samples: Vec<f64> = if survivors_only {
+        report.survivor_ratios()
+    } else {
+        report
+            .restarts
+            .iter()
+            .map(|r| {
+                qoncord_vqa::metrics::approximation_ratio(
+                    r.final_expectation,
+                    report.ground_energy,
+                )
+            })
+            .collect()
+    };
+    BoxStats::from_samples(&samples)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let restarts = args.restarts(4, 50);
+    let iterations = args.scale(12, 60);
+    let problem = MaxCut::new(Graph::paper_graph_14());
+    let factory = TrajectoryQaoaFactory {
+        problem: problem.clone(),
+        layers: 1,
+        n_trajectories: args.scale(8, 48) as u32,
+    };
+    let lf = hypothetical_depolarizing("hypo_lf_1.0pct", 14, 0.010, 0.010);
+    let mf = hypothetical_depolarizing("hypo_mf_0.5pct", 14, 0.005, 0.005);
+    let hf = hypothetical_depolarizing("hypo_hf_0.1pct", 14, 0.001, 0.001);
+    println!(
+        "Figs. 17/18: 14q 1-layer QAOA, {restarts} restarts, hypothetical depolarizing models\n"
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (label, cal) in [("LF (1.0%)", &lf), ("MF (0.5%)", &mf), ("HF (0.1%)", &hf)] {
+        let report = run_single_device(cal, &factory, restarts, iterations, args.seed);
+        let stats = ratio_stats(&report, false);
+        rows.push(vec![
+            label.to_string(),
+            fmt(stats.mean, 3),
+            fmt(stats.max, 3),
+            report.total_executions().to_string(),
+        ]);
+        csv.push(vec![
+            label.to_string(),
+            fmt(stats.mean, 6),
+            fmt(stats.max, 6),
+            report.total_executions().to_string(),
+        ]);
+    }
+    // Budgets are ceilings, not targets: the relaxed/strict checkers stop
+    // each phase adaptively, so the final rung may use the full budget the
+    // single-device baselines get.
+    let config = QoncordConfig {
+        exploration_max_iterations: iterations / 2,
+        finetune_max_iterations: iterations,
+        min_fidelity: 0.0,
+        seed: args.seed,
+        ..QoncordConfig::default()
+    };
+    let q = QoncordScheduler::new(config)
+        .run(&[lf, mf, hf], &factory, restarts)
+        .expect("devices viable");
+    let stats = ratio_stats(&q, true);
+    rows.push(vec![
+        "Qoncord".to_string(),
+        fmt(stats.mean, 3),
+        fmt(stats.max, 3),
+        q.total_executions().to_string(),
+    ]);
+    csv.push(vec![
+        "Qoncord".to_string(),
+        fmt(stats.mean, 6),
+        fmt(stats.max, 6),
+        q.total_executions().to_string(),
+    ]);
+    print_table(&["Mode", "mean ratio", "max ratio", "total executions"], &rows);
+    let device_execs: String = q
+        .devices
+        .iter()
+        .map(|d| format!("{}: {}", d.device, d.executions))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("\nQoncord per-device executions: {device_execs}");
+    println!("(paper: Qoncord outperforms single-device results at this scale too)");
+    write_csv(
+        "fig17_18_fourteen_qubit.csv",
+        &["mode", "mean_ratio", "max_ratio", "executions"],
+        &csv,
+    );
+}

@@ -1,0 +1,62 @@
+//! Table I — fidelity and wait-time comparison of cloud devices, with the
+//! derived ratios the paper quotes (Rigetti waits 10.9–61.3× shorter than
+//! IonQ; Aria/Forte wait 3.7–5.6× longer than Harmony).
+
+use qoncord_bench::{fmt, print_table, write_csv};
+use qoncord_device::catalog::market_entries;
+
+fn main() {
+    let entries = market_entries();
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.provider.to_string(),
+                e.device.to_string(),
+                fmt(e.gate_fidelity_pct, 1),
+                e.aq.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+                if e.wait_time_hours >= 24.0 {
+                    format!("{:.1} days", e.wait_time_hours / 24.0)
+                } else {
+                    format!("{:.0} hours", e.wait_time_hours)
+                },
+            ]
+        })
+        .collect();
+    println!("Table I: fidelity and wait times\n");
+    print_table(
+        &["Provider", "Device", "Gate Fidelity (%)", "#AQ", "Wait Time"],
+        &rows,
+    );
+    let rigetti = &entries[0];
+    let harmony = &entries[1];
+    let aria = &entries[2];
+    let forte = &entries[3];
+    println!();
+    println!(
+        "Rigetti wait advantage over IonQ: {:.1}x - {:.1}x (paper: 10.9x - 61.3x)",
+        harmony.wait_time_hours / rigetti.wait_time_hours,
+        aria.wait_time_hours / rigetti.wait_time_hours,
+    );
+    println!(
+        "Aria/Forte vs Harmony wait: {:.1}x - {:.1}x (paper: 3.7x - 5.6x)",
+        forte.wait_time_hours / harmony.wait_time_hours,
+        aria.wait_time_hours / harmony.wait_time_hours,
+    );
+    write_csv(
+        "table1_wait_times.csv",
+        &["provider", "device", "gate_fidelity_pct", "aq", "wait_hours"],
+        &entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.provider.to_string(),
+                    e.device.to_string(),
+                    fmt(e.gate_fidelity_pct, 2),
+                    e.aq.map(|a| a.to_string()).unwrap_or_default(),
+                    fmt(e.wait_time_hours, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

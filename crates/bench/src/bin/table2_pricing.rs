@@ -1,0 +1,63 @@
+//! Table II — Amazon Braket pricing, with the paper's derived per-shot
+//! ratios (Rigetti 28.6–85.7× cheaper than IonQ; Aria 3× Harmony).
+
+use qoncord_bench::{fmt, print_table, write_csv};
+use qoncord_device::catalog::market_entries;
+
+fn main() {
+    let entries = market_entries();
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.provider.to_string(),
+                e.device.to_string(),
+                if e.time_per_gate_us >= 1.0 {
+                    format!("{:.0} microseconds", e.time_per_gate_us)
+                } else {
+                    format!("{:.0} nanoseconds", e.time_per_gate_us * 1000.0)
+                },
+                format!("${:.1}", e.price_per_task_usd),
+                format!("${:.5}", e.price_per_shot_usd),
+            ]
+        })
+        .collect();
+    println!("Table II: Amazon Braket pricing\n");
+    print_table(
+        &["Provider", "Device", "Execution Time/Gate", "Price/Task", "Price/Shot"],
+        &rows,
+    );
+    let rigetti = &entries[0];
+    let harmony = &entries[1];
+    let aria = &entries[2];
+    println!();
+    println!(
+        "Rigetti per-shot advantage: {:.1}x - {:.1}x cheaper (paper: 28.6x - 85.7x)",
+        harmony.price_per_shot_usd / rigetti.price_per_shot_usd,
+        aria.price_per_shot_usd / rigetti.price_per_shot_usd,
+    );
+    println!(
+        "Aria vs Harmony per-shot: {:.0}x (paper: 3x)",
+        aria.price_per_shot_usd / harmony.price_per_shot_usd
+    );
+    println!(
+        "IonQ vs Rigetti gate time: {:.0}x slower (paper: >1000x)",
+        aria.time_per_gate_us / rigetti.time_per_gate_us
+    );
+    write_csv(
+        "table2_pricing.csv",
+        &["provider", "device", "time_per_gate_us", "price_per_task", "price_per_shot"],
+        &entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.provider.to_string(),
+                    e.device.to_string(),
+                    fmt(e.time_per_gate_us, 3),
+                    fmt(e.price_per_task_usd, 2),
+                    fmt(e.price_per_shot_usd, 5),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,194 @@
+//! # qoncord-bench
+//!
+//! Experiment harness for the Qoncord reproduction. Each binary under
+//! `src/bin/` regenerates one table or figure of the paper (see DESIGN.md's
+//! experiment index); this library holds the shared plumbing: scale flags,
+//! aligned table printing, and CSV output under `target/experiments/`.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p qoncord-bench --bin fig13_14_multi_restart
+//! cargo run --release -p qoncord-bench --bin fig13_14_multi_restart -- --paper
+//! ```
+//!
+//! `--paper` switches from the quick default scale (sized for a laptop) to
+//! the paper's full scale (50 restarts etc.); `--restarts N` / `--seed N`
+//! override individual knobs.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Common command-line arguments of the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Run at the paper's full scale instead of the quick default.
+    pub paper: bool,
+    /// Override of the restart count.
+    pub restarts: Option<usize>,
+    /// Override of the RNG seed.
+    pub seed: u64,
+    /// Enable the experiment's ablation variant, where one exists.
+    pub ablate: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            paper: false,
+            restarts: None,
+            seed: 0xC0C0,
+            ablate: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args()`; unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut out = ExperimentArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => out.paper = true,
+                "--ablate" => out.ablate = true,
+                "--restarts" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--restarts needs a number"));
+                    out.restarts = Some(v);
+                }
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--help" | "-h" => usage("experiment harness"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+
+    /// Chooses between the quick and paper-scale value.
+    pub fn scale(&self, quick: usize, paper: usize) -> usize {
+        if self.paper {
+            paper
+        } else {
+            quick
+        }
+    }
+
+    /// The restart count: explicit override, else quick/paper scale.
+    pub fn restarts(&self, quick: usize, paper: usize) -> usize {
+        self.restarts.unwrap_or_else(|| self.scale(quick, paper))
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\nusage: <experiment> [--paper] [--ablate] [--restarts N] [--seed N]\n\
+         --paper    run at the paper's full scale\n\
+         --ablate   run the experiment's ablation variant (where defined)\n"
+    );
+    std::process::exit(2);
+}
+
+/// Prints an aligned text table.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file under `target/experiments/` and returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiments are developer tools).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = experiments_dir().join(name);
+    let mut file = fs::File::create(&path).expect("create csv");
+    writeln!(file, "{}", headers.join(",")).expect("write header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("write row");
+    }
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Formats a float with the given precision (helper for table rows).
+pub fn fmt(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks_by_flag() {
+        let quick = ExperimentArgs::default();
+        assert_eq!(quick.scale(5, 50), 5);
+        let paper = ExperimentArgs {
+            paper: true,
+            ..ExperimentArgs::default()
+        };
+        assert_eq!(paper.scale(5, 50), 50);
+    }
+
+    #[test]
+    fn restarts_override_wins() {
+        let args = ExperimentArgs {
+            restarts: Some(12),
+            paper: true,
+            ..ExperimentArgs::default()
+        };
+        assert_eq!(args.restarts(5, 50), 12);
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(-0.5, 3), "-0.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_table_panics() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,174 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits built here be executed on real cloud backends (or checked
+//! against Qiskit) — the natural interchange boundary for a scheduler that
+//! is designed to drive actual quantum clouds.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Error returned when a circuit cannot be exported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportQasmError {
+    /// The circuit still contains unbound symbolic parameters; bind first.
+    UnboundParameters {
+        /// Number of parameters the circuit expects.
+        n_params: usize,
+    },
+}
+
+impl std::fmt::Display for ExportQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportQasmError::UnboundParameters { n_params } => write!(
+                f,
+                "circuit has {n_params} unbound parameters; bind values before exporting"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExportQasmError {}
+
+/// Serializes a circuit to OpenQASM 2.0. Parametric circuits must be bound
+/// by passing their parameter values; pass `&[]` for parameter-free
+/// circuits.
+///
+/// # Errors
+///
+/// Returns [`ExportQasmError::UnboundParameters`] when `params` is empty but
+/// the circuit expects parameters.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_circuit::circuit::Circuit;
+/// use qoncord_circuit::qasm::to_qasm;
+///
+/// let mut qc = Circuit::new(2, 0);
+/// qc.h(0).cx(0, 1);
+/// let qasm = to_qasm(&qc, &[]).unwrap();
+/// assert!(qasm.contains("h q[0];"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit, params: &[f64]) -> Result<String, ExportQasmError> {
+    if circuit.n_params() > 0 && params.len() != circuit.n_params() {
+        return Err(ExportQasmError::UnboundParameters {
+            n_params: circuit.n_params(),
+        });
+    }
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.n_qubits()));
+    out.push_str(&format!("creg c[{}];\n", circuit.n_qubits()));
+    for gate in circuit.gates() {
+        let a: Vec<f64> = gate.angles.iter().map(|ang| ang.resolve(params)).collect();
+        let line = match gate.kind {
+            GateKind::H => format!("h q[{}];", gate.qubits[0]),
+            GateKind::X => format!("x q[{}];", gate.qubits[0]),
+            GateKind::Y => format!("y q[{}];", gate.qubits[0]),
+            GateKind::Z => format!("z q[{}];", gate.qubits[0]),
+            GateKind::S => format!("s q[{}];", gate.qubits[0]),
+            GateKind::Sdg => format!("sdg q[{}];", gate.qubits[0]),
+            GateKind::T => format!("t q[{}];", gate.qubits[0]),
+            GateKind::Tdg => format!("tdg q[{}];", gate.qubits[0]),
+            GateKind::Sx => format!("sx q[{}];", gate.qubits[0]),
+            GateKind::Rx => format!("rx({}) q[{}];", a[0], gate.qubits[0]),
+            GateKind::Ry => format!("ry({}) q[{}];", a[0], gate.qubits[0]),
+            GateKind::Rz => format!("rz({}) q[{}];", a[0], gate.qubits[0]),
+            GateKind::P => format!("p({}) q[{}];", a[0], gate.qubits[0]),
+            GateKind::U3 => format!(
+                "u3({},{},{}) q[{}];",
+                a[0], a[1], a[2], gate.qubits[0]
+            ),
+            GateKind::Cx => format!("cx q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
+            GateKind::Cz => format!("cz q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
+            GateKind::Swap => format!("swap q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
+            GateKind::Rzz => format!(
+                "rzz({}) q[{}],q[{}];",
+                a[0], gate.qubits[0], gate.qubits[1]
+            ),
+            GateKind::Crz => format!(
+                "crz({}) q[{}],q[{}];",
+                a[0], gate.qubits[0], gate.qubits[1]
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("measure q -> c;\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Angle, ParamId};
+
+    #[test]
+    fn bell_circuit_exports() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        let qasm = to_qasm(&qc, &[]).unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[2];"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("cx q[0],q[1];"));
+        assert!(qasm.ends_with("measure q -> c;\n"));
+    }
+
+    #[test]
+    fn parametric_circuit_binds_on_export() {
+        let mut qc = Circuit::new(1, 1);
+        qc.rz(0, Angle::scaled(ParamId(0), 2.0));
+        let qasm = to_qasm(&qc, &[0.25]).unwrap();
+        assert!(qasm.contains("rz(0.5) q[0];"));
+    }
+
+    #[test]
+    fn unbound_parameters_error() {
+        let mut qc = Circuit::new(1, 1);
+        qc.rx(0, ParamId(0));
+        let err = to_qasm(&qc, &[]).unwrap_err();
+        assert_eq!(err, ExportQasmError::UnboundParameters { n_params: 1 });
+        assert!(err.to_string().contains("unbound"));
+    }
+
+    #[test]
+    fn every_gate_kind_exports() {
+        let mut qc = Circuit::new(3, 0);
+        qc.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .sdg(2)
+            .sx(0)
+            .rx(1, 0.1)
+            .ry(2, 0.2)
+            .rz(0, 0.3)
+            .p(1, 0.4)
+            .cx(0, 1)
+            .cz(1, 2)
+            .swap(0, 2)
+            .rzz(0, 1, 0.5);
+        let qasm = to_qasm(&qc, &[]).unwrap();
+        for needle in [
+            "h q[0];", "x q[1];", "y q[2];", "z q[0];", "s q[1];", "sdg q[2];",
+            "sx q[0];", "rx(0.1) q[1];", "ry(0.2) q[2];", "rz(0.3) q[0];",
+            "p(0.4) q[1];", "cx q[0],q[1];", "cz q[1],q[2];", "swap q[0],q[2];",
+            "rzz(0.5) q[0],q[1];",
+        ] {
+            assert!(qasm.contains(needle), "missing {needle} in:\n{qasm}");
+        }
+    }
+
+    #[test]
+    fn line_count_matches_gate_count() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(1).cx(0, 1);
+        let qasm = to_qasm(&qc, &[]).unwrap();
+        // header(2) + qreg + creg + 3 gates + measure = 8 lines
+        assert_eq!(qasm.lines().count(), 8);
+    }
+}

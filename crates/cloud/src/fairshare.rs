@@ -1,0 +1,267 @@
+//! Fair-share queue ordering (Sec. II-E of the paper).
+//!
+//! Both cloud access models order pending jobs with fair-share scheduling:
+//! a job's priority reflects its user's recent resource consumption, the
+//! number of requests they have in flight, and the computation time they
+//! request — heavy users sink, light users float. This module implements
+//! that ordering for the queue simulator and standalone use.
+
+use std::collections::HashMap;
+
+/// Per-user accounting the fair-share policy weighs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UserUsage {
+    /// Device-seconds consumed in the accounting window.
+    pub consumed_seconds: f64,
+    /// Jobs currently queued or running.
+    pub jobs_in_flight: u32,
+}
+
+/// A queued request as fair-share sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// Request id.
+    pub id: usize,
+    /// Submitting user.
+    pub user: String,
+    /// Requested computation time, seconds.
+    pub requested_seconds: f64,
+    /// Submission time (FIFO tie-break).
+    pub submitted_at: f64,
+}
+
+/// Weights of the fair-share score; larger scores dequeue later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairShareWeights {
+    /// Weight on the user's consumed device-seconds.
+    pub usage: f64,
+    /// Weight on the user's in-flight job count.
+    pub in_flight: f64,
+    /// Weight on the requested computation time.
+    pub request_size: f64,
+}
+
+impl Default for FairShareWeights {
+    fn default() -> Self {
+        FairShareWeights {
+            usage: 1.0,
+            in_flight: 10.0,
+            request_size: 0.5,
+        }
+    }
+}
+
+/// A fair-share priority queue over [`QueuedRequest`]s.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
+///
+/// let mut q = FairShareQueue::new();
+/// q.record_usage("heavy", 1000.0);
+/// q.push(QueuedRequest { id: 0, user: "heavy".into(), requested_seconds: 5.0, submitted_at: 0.0 });
+/// q.push(QueuedRequest { id: 1, user: "light".into(), requested_seconds: 5.0, submitted_at: 1.0 });
+/// // The light user's later submission dequeues first.
+/// assert_eq!(q.pop().unwrap().id, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FairShareQueue {
+    weights: FairShareWeights,
+    usage: HashMap<String, UserUsage>,
+    pending: Vec<QueuedRequest>,
+}
+
+impl FairShareQueue {
+    /// Creates an empty queue with default weights.
+    pub fn new() -> Self {
+        FairShareQueue::default()
+    }
+
+    /// Creates a queue with explicit weights.
+    pub fn with_weights(weights: FairShareWeights) -> Self {
+        FairShareQueue {
+            weights,
+            ..FairShareQueue::default()
+        }
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Records `seconds` of consumption against `user`'s share.
+    pub fn record_usage(&mut self, user: &str, seconds: f64) {
+        self.usage.entry(user.to_owned()).or_default().consumed_seconds += seconds;
+    }
+
+    /// Ages all users' consumption by `factor` (e.g. nightly decay toward
+    /// zero so past-heavy users recover priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn decay_usage(&mut self, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "decay factor in [0,1]");
+        for u in self.usage.values_mut() {
+            u.consumed_seconds *= factor;
+        }
+    }
+
+    /// Current usage record for a user.
+    pub fn usage(&self, user: &str) -> UserUsage {
+        self.usage.get(user).copied().unwrap_or_default()
+    }
+
+    /// Enqueues a request and bumps the user's in-flight count.
+    pub fn push(&mut self, request: QueuedRequest) {
+        self.usage
+            .entry(request.user.clone())
+            .or_default()
+            .jobs_in_flight += 1;
+        self.pending.push(request);
+    }
+
+    /// Fair-share score of a request: lower dequeues sooner.
+    pub fn score(&self, request: &QueuedRequest) -> f64 {
+        let usage = self.usage(&request.user);
+        self.weights.usage * usage.consumed_seconds
+            + self.weights.in_flight * usage.jobs_in_flight as f64
+            + self.weights.request_size * request.requested_seconds
+    }
+
+    /// Dequeues the request with the lowest score (FIFO on ties) and
+    /// releases its in-flight slot. The caller should
+    /// [`record_usage`](Self::record_usage) once the job actually runs.
+    pub fn pop(&mut self) -> Option<QueuedRequest> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let sa = self.score(a.1);
+                let sb = self.score(b.1);
+                sa.partial_cmp(&sb)
+                    .expect("finite scores")
+                    .then(
+                        a.1.submitted_at
+                            .partial_cmp(&b.1.submitted_at)
+                            .expect("finite times"),
+                    )
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let request = self.pending.remove(best);
+        if let Some(u) = self.usage.get_mut(&request.user) {
+            u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
+        }
+        Some(request)
+    }
+
+    /// Drains the queue in fair-share order.
+    pub fn drain_ordered(&mut self) -> Vec<QueuedRequest> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while let Some(r) = self.pop() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, user: &str, seconds: f64, at: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            user: user.into(),
+            requested_seconds: seconds,
+            submitted_at: at,
+        }
+    }
+
+    #[test]
+    fn light_users_jump_heavy_users() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 500.0);
+        q.push(req(0, "heavy", 10.0, 0.0));
+        q.push(req(1, "light", 10.0, 5.0));
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 0);
+    }
+
+    #[test]
+    fn fifo_breaks_ties() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 10.0, 0.0));
+        q.push(req(1, "b", 10.0, 1.0));
+        assert_eq!(q.pop().unwrap().id, 0);
+    }
+
+    #[test]
+    fn many_in_flight_jobs_sink_priority() {
+        let mut q = FairShareQueue::new();
+        for i in 0..5 {
+            q.push(req(i, "spammer", 1.0, i as f64));
+        }
+        q.push(req(99, "newcomer", 1.0, 10.0));
+        assert_eq!(q.pop().unwrap().id, 99, "single-job user goes first");
+    }
+
+    #[test]
+    fn larger_requests_sink() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 1000.0, 0.0));
+        q.push(req(1, "b", 1.0, 1.0));
+        assert_eq!(q.pop().unwrap().id, 1);
+    }
+
+    #[test]
+    fn decay_restores_priority() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("reformed", 1000.0);
+        q.decay_usage(0.0);
+        q.push(req(0, "reformed", 5.0, 0.0));
+        q.push(req(1, "fresh", 5.0, 1.0));
+        // Equal usage now; FIFO decides.
+        assert_eq!(q.pop().unwrap().id, 0);
+    }
+
+    #[test]
+    fn pop_releases_in_flight_slot() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 1.0, 0.0));
+        assert_eq!(q.usage("a").jobs_in_flight, 1);
+        q.pop();
+        assert_eq!(q.usage("a").jobs_in_flight, 0);
+    }
+
+    #[test]
+    fn drain_returns_everything_in_order() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("x", 100.0);
+        q.push(req(0, "x", 1.0, 0.0));
+        q.push(req(1, "y", 1.0, 1.0));
+        q.push(req(2, "z", 1.0, 2.0));
+        let order: Vec<usize> = q.drain_ordered().iter().map(|r| r.id).collect();
+        assert_eq!(order.len(), 3);
+        assert_ne!(order[0], 0, "heavy user cannot be first");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn bad_decay_rejected() {
+        FairShareQueue::new().decay_usage(1.5);
+    }
+}

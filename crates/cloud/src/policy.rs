@@ -1,0 +1,392 @@
+//! The cloud scheduling policies of Sec. V-A: Least Busy, Load Weighted,
+//! Fidelity Weighted, Best Fidelity, EQC (ensemble/asynchronous execution),
+//! and Qoncord (phase splitting).
+
+use crate::device::CloudDevice;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+
+/// A cloud scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Always the least-loaded device (throughput-first).
+    LeastBusy,
+    /// Random, weighted toward less-loaded devices.
+    LoadWeighted,
+    /// Random, weighted toward higher-fidelity devices (the organic user
+    /// access pattern).
+    FidelityWeighted,
+    /// Always one of the highest-fidelity devices (quality-first).
+    BestFidelity,
+    /// EQC-style ensemble execution: least-busy placement but 2× circuit
+    /// executions for VQA jobs, with quality limited by the fidelity
+    /// *average* of the ensemble.
+    Eqc,
+    /// Qoncord: exploration circuits on a low-fidelity low-load device,
+    /// fine-tuning circuits on a high-fidelity device; early termination
+    /// trims the exploration tail.
+    Qoncord,
+}
+
+impl Policy {
+    /// All six policies, in the paper's presentation order.
+    pub fn all() -> [Policy; 6] {
+        [
+            Policy::LeastBusy,
+            Policy::LoadWeighted,
+            Policy::FidelityWeighted,
+            Policy::BestFidelity,
+            Policy::Eqc,
+            Policy::Qoncord,
+        ]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::LeastBusy => "Least Busy",
+            Policy::LoadWeighted => "Load Weighted",
+            Policy::FidelityWeighted => "Fidelity Weighted",
+            Policy::BestFidelity => "Best Fidelity",
+            Policy::Eqc => "EQC",
+            Policy::Qoncord => "Qoncord",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fraction of a VQA job's circuits Qoncord runs as exploration on the
+/// low-fidelity device (Fig. 14 measures ≈ 70 % of executions on the LF
+/// device).
+pub const QONCORD_EXPLORATION_FRACTION: f64 = 0.7;
+
+/// Fraction of exploration circuits Qoncord's restart triage eliminates
+/// (Fig. 13: 31 of 50 restarts are cut after exploration, trimming their
+/// fine-tuning work; net execution savings land near 15 %).
+pub const QONCORD_TERMINATION_SAVINGS: f64 = 0.15;
+
+/// Quality mixing for Qoncord jobs: solution quality tracks the fine-tuning
+/// device (the paper's central claim), with a small exploration residue.
+pub const QONCORD_FINETUNE_WEIGHT: f64 = 0.92;
+
+/// EQC's circuit-execution multiplier (the paper: "twice the number of
+/// tasks... the minimum overhead for a 1-layer QAOA").
+pub const EQC_CIRCUIT_MULTIPLIER: f64 = 2.0;
+
+/// One placement decision: a device, the circuits to run there, and the
+/// fidelity weight those circuits contribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Target device index.
+    pub device: usize,
+    /// Circuit executions to run there.
+    pub circuits: u64,
+    /// Weight of this placement in the job's effective fidelity.
+    pub quality_weight: f64,
+}
+
+/// Chooses placements for a job's `total_circuits` under `policy`.
+///
+/// `now` is the decision time (loads are evaluated at `now`). For split
+/// policies (Qoncord) multiple placements are returned; their circuit counts
+/// need not sum to `total_circuits` (EQC doubles, Qoncord trims).
+///
+/// # Panics
+///
+/// Panics if `devices` is empty.
+pub fn place_job(
+    policy: Policy,
+    devices: &[CloudDevice],
+    total_circuits: u64,
+    is_vqa: bool,
+    now: f64,
+    rng: &mut StdRng,
+) -> Vec<Placement> {
+    assert!(!devices.is_empty(), "no devices available");
+    match policy {
+        Policy::LeastBusy => vec![Placement {
+            device: least_busy(devices, now),
+            circuits: total_circuits,
+            quality_weight: 1.0,
+        }],
+        Policy::BestFidelity => {
+            let best = devices
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.fidelity()
+                        .partial_cmp(&b.1.fidelity())
+                        .expect("finite fidelity")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            vec![Placement {
+                device: best,
+                circuits: total_circuits,
+                quality_weight: 1.0,
+            }]
+        }
+        Policy::LoadWeighted => {
+            let weights: Vec<f64> = devices
+                .iter()
+                .map(|d| 1.0 / (1.0 + d.load_after(now)))
+                .collect();
+            vec![Placement {
+                device: weighted_choice(&weights, rng),
+                circuits: total_circuits,
+                quality_weight: 1.0,
+            }]
+        }
+        Policy::FidelityWeighted => {
+            // Quadratic weighting mirrors users' strong preference for the
+            // best machines.
+            let weights: Vec<f64> = devices.iter().map(|d| d.fidelity().powi(2)).collect();
+            vec![Placement {
+                device: weighted_choice(&weights, rng),
+                circuits: total_circuits,
+                quality_weight: 1.0,
+            }]
+        }
+        Policy::Eqc => {
+            if !is_vqa {
+                return vec![Placement {
+                    device: least_busy(devices, now),
+                    circuits: total_circuits,
+                    quality_weight: 1.0,
+                }];
+            }
+            // Ensemble over the two least-busy devices, 2× total circuits,
+            // quality limited by the ensemble average.
+            let first = least_busy(devices, now);
+            let second = least_busy_excluding(devices, now, first);
+            let doubled = (total_circuits as f64 * EQC_CIRCUIT_MULTIPLIER).round() as u64;
+            let half = doubled / 2;
+            vec![
+                Placement {
+                    device: first,
+                    circuits: half,
+                    quality_weight: 0.5,
+                },
+                Placement {
+                    device: second,
+                    circuits: doubled - half,
+                    quality_weight: 0.5,
+                },
+            ]
+        }
+        Policy::Qoncord => {
+            if !is_vqa {
+                return vec![Placement {
+                    device: least_busy(devices, now),
+                    circuits: total_circuits,
+                    quality_weight: 1.0,
+                }];
+            }
+            // Exploration: least-busy device in the lower fidelity half.
+            // Fine-tune: least-busy device within 5 % of the fleet's best
+            // fidelity (the paper's "the high-fidelity device").
+            let explore_dev = least_busy_among(devices, now, |d| {
+                d.fidelity() <= median_fidelity(devices)
+            })
+            .unwrap_or_else(|| least_busy(devices, now));
+            let max_fidelity = devices
+                .iter()
+                .map(|d| d.fidelity())
+                .fold(0.0_f64, f64::max);
+            let finetune_dev = least_busy_among(devices, now, |d| {
+                d.fidelity() >= 0.95 * max_fidelity
+            })
+            .unwrap_or_else(|| least_busy(devices, now));
+            let kept = 1.0 - QONCORD_TERMINATION_SAVINGS;
+            let total_after_triage = total_circuits as f64 * kept;
+            let explore = (total_after_triage * QONCORD_EXPLORATION_FRACTION).round() as u64;
+            let finetune = (total_after_triage as u64).saturating_sub(explore).max(1);
+            vec![
+                Placement {
+                    device: explore_dev,
+                    circuits: explore,
+                    quality_weight: 1.0 - QONCORD_FINETUNE_WEIGHT,
+                },
+                Placement {
+                    device: finetune_dev,
+                    circuits: finetune,
+                    quality_weight: QONCORD_FINETUNE_WEIGHT,
+                },
+            ]
+        }
+    }
+}
+
+fn least_busy(devices: &[CloudDevice], now: f64) -> usize {
+    devices
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.load_after(now)
+                .partial_cmp(&b.1.load_after(now))
+                .expect("finite load")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn least_busy_excluding(devices: &[CloudDevice], now: f64, excluded: usize) -> usize {
+    devices
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != excluded)
+        .min_by(|a, b| {
+            a.1.load_after(now)
+                .partial_cmp(&b.1.load_after(now))
+                .expect("finite load")
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(excluded)
+}
+
+fn least_busy_among(
+    devices: &[CloudDevice],
+    now: f64,
+    filter: impl Fn(&CloudDevice) -> bool,
+) -> Option<usize> {
+    devices
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| filter(d))
+        .min_by(|a, b| {
+            a.1.load_after(now)
+                .partial_cmp(&b.1.load_after(now))
+                .expect("finite load")
+        })
+        .map(|(i, _)| i)
+}
+
+fn median_fidelity(devices: &[CloudDevice]) -> f64 {
+    let mut f: Vec<f64> = devices.iter().map(|d| d.fidelity()).collect();
+    f.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    f[f.len() / 2]
+}
+
+fn weighted_choice(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut r = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        r -= w;
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::hypothetical_fleet;
+    use rand::SeedableRng;
+
+    fn fleet() -> Vec<CloudDevice> {
+        hypothetical_fleet(10, 0.3, 0.9)
+    }
+
+    #[test]
+    fn least_busy_prefers_idle_device() {
+        let mut devices = fleet();
+        for d in devices.iter_mut().take(9) {
+            d.schedule(0.0, 100.0);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = place_job(Policy::LeastBusy, &devices, 10, true, 0.0, &mut rng);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].device, 9);
+    }
+
+    #[test]
+    fn best_fidelity_always_picks_top_device() {
+        let devices = fleet();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let p = place_job(Policy::BestFidelity, &devices, 10, false, 0.0, &mut rng);
+            assert_eq!(p[0].device, 9);
+        }
+    }
+
+    #[test]
+    fn qoncord_splits_vqa_jobs_across_tiers() {
+        let devices = fleet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = place_job(Policy::Qoncord, &devices, 100, true, 0.0, &mut rng);
+        assert_eq!(p.len(), 2);
+        let (explore, finetune) = (&p[0], &p[1]);
+        assert!(devices[explore.device].fidelity() < devices[finetune.device].fidelity());
+        // ~70 % of (triage-trimmed) circuits on the LF device.
+        assert!(explore.circuits > finetune.circuits);
+        // Quality weighting is dominated by the fine-tune device.
+        assert!(finetune.quality_weight > 0.9);
+        // Termination savings: fewer total circuits than nominal.
+        assert!(explore.circuits + finetune.circuits < 100);
+    }
+
+    #[test]
+    fn qoncord_routes_non_vqa_like_least_busy() {
+        let devices = fleet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = place_job(Policy::Qoncord, &devices, 10, false, 0.0, &mut rng);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].circuits, 10);
+    }
+
+    #[test]
+    fn eqc_doubles_vqa_circuits() {
+        let devices = fleet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = place_job(Policy::Eqc, &devices, 50, true, 0.0, &mut rng);
+        let total: u64 = p.iter().map(|x| x.circuits).sum();
+        assert_eq!(total, 100);
+        assert_eq!(p.len(), 2);
+        assert_ne!(p[0].device, p[1].device);
+    }
+
+    #[test]
+    fn fidelity_weighted_skews_toward_good_devices() {
+        let devices = fleet();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits_top_half = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let p = place_job(Policy::FidelityWeighted, &devices, 1, false, 0.0, &mut rng);
+            if p[0].device >= 5 {
+                hits_top_half += 1;
+            }
+        }
+        let frac = hits_top_half as f64 / n as f64;
+        assert!(frac > 0.6, "expected skew toward high fidelity, got {frac}");
+    }
+
+    #[test]
+    fn load_weighted_spreads_load() {
+        let mut devices = fleet();
+        devices[0].schedule(0.0, 1e6); // overloaded device
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits_loaded = 0;
+        for _ in 0..500 {
+            let p = place_job(Policy::LoadWeighted, &devices, 1, false, 0.0, &mut rng);
+            if p[0].device == 0 {
+                hits_loaded += 1;
+            }
+        }
+        assert!(hits_loaded < 20, "overloaded device still chosen {hits_loaded} times");
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(Policy::Qoncord.label(), "Qoncord");
+        assert_eq!(Policy::all().len(), 6);
+    }
+}

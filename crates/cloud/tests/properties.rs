@@ -1,0 +1,61 @@
+//! Property-based tests of the queue simulator: conservation laws and
+//! schedule validity under arbitrary workloads.
+
+use proptest::prelude::*;
+use qoncord_cloud::device::{hypothetical_fleet, CloudDevice};
+use qoncord_cloud::policy::Policy;
+use qoncord_cloud::sim::simulate;
+use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every policy completes every job, with completion ≥ arrival, and
+    /// total busy time consistent with executed circuits.
+    #[test]
+    fn simulation_conservation_laws(
+        vqa_ratio in 0.0..1.0f64,
+        n_jobs in 20..120usize,
+        seed in 0..1000u64,
+    ) {
+        let jobs = generate_workload(&WorkloadConfig {
+            n_jobs,
+            vqa_ratio,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        let fleet = hypothetical_fleet(6, 0.3, 0.9);
+        for policy in Policy::all() {
+            let r = simulate(policy, &jobs, &fleet, seed);
+            prop_assert_eq!(r.outcomes.len(), jobs.len());
+            for (o, j) in r.outcomes.iter().zip(&jobs) {
+                prop_assert!(o.completion >= j.arrival - 1e-9,
+                    "{policy}: completion before arrival");
+                prop_assert!((0.0..=1.0).contains(&o.fidelity));
+            }
+            prop_assert!(r.executed_circuits >= r.useful_circuits || r.useful_circuits == 0);
+            let busy: f64 = r.device_busy.iter().sum();
+            prop_assert!(busy > 0.0);
+            prop_assert!(r.makespan > 0.0);
+        }
+    }
+
+    /// Device schedules never overlap: committed busy time within any
+    /// window cannot exceed the window length.
+    #[test]
+    fn device_schedule_is_non_overlapping(
+        durations in proptest::collection::vec(0.1..5.0f64, 1..30),
+        releases in proptest::collection::vec(0.0..20.0f64, 1..30),
+    ) {
+        let mut dev = CloudDevice::new(0, 0.5, 1.0);
+        let n = durations.len().min(releases.len());
+        let mut total = 0.0;
+        for i in 0..n {
+            dev.schedule(releases[i], durations[i]);
+            total += durations[i];
+        }
+        prop_assert!((dev.busy_time() - total).abs() < 1e-6,
+            "busy {} vs scheduled {}", dev.busy_time(), total);
+        prop_assert!(dev.horizon() >= total - 1e-9, "work cannot compress");
+    }
+}

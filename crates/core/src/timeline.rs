@@ -1,0 +1,208 @@
+//! Wall-clock accounting for scheduler reports: converts per-device
+//! execution counts into makespans under a queue-wait model, yielding the
+//! paper's time-to-solution comparisons (Fig. 1's 2.14× and the headline
+//! 17.4×).
+
+use crate::scheduler::QoncordReport;
+use qoncord_device::calibration::Calibration;
+use qoncord_circuit::transpile::CircuitStats;
+use std::collections::HashMap;
+
+/// Queue-wait model: seconds of waiting added to every circuit execution on
+/// a device (an effective per-execution stand-in for queue depth × mean job
+/// time).
+#[derive(Debug, Clone, Default)]
+pub struct QueueModel {
+    waits: HashMap<String, f64>,
+    default_wait: f64,
+}
+
+impl QueueModel {
+    /// Creates a model where unknown devices wait `default_wait` seconds per
+    /// execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_wait` is negative.
+    pub fn new(default_wait: f64) -> Self {
+        assert!(default_wait >= 0.0, "wait must be non-negative");
+        QueueModel {
+            waits: HashMap::new(),
+            default_wait,
+        }
+    }
+
+    /// Sets the per-execution wait of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait` is negative.
+    pub fn with_wait(mut self, device: &str, wait: f64) -> Self {
+        assert!(wait >= 0.0, "wait must be non-negative");
+        self.waits.insert(device.to_owned(), wait);
+        self
+    }
+
+    /// The wait applied to one execution on `device`.
+    pub fn wait_for(&self, device: &str) -> f64 {
+        self.waits.get(device).copied().unwrap_or(self.default_wait)
+    }
+}
+
+/// Wall-clock breakdown of one report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEstimate {
+    /// Per-device `(name, busy seconds, queue-wait seconds)`.
+    pub per_device: Vec<(String, f64, f64)>,
+    /// Total busy (circuit execution) seconds.
+    pub busy_seconds: f64,
+    /// Total queue-wait seconds.
+    pub wait_seconds: f64,
+}
+
+impl TimelineEstimate {
+    /// Total makespan: busy + waiting (phases are serialized per restart
+    /// and devices are visited in ladder order, so the sum is the model's
+    /// end-to-end time).
+    pub fn makespan(&self) -> f64 {
+        self.busy_seconds + self.wait_seconds
+    }
+}
+
+/// Estimates the wall-clock timeline of a report: per device, executions ×
+/// (circuit time at `shots` + queue wait).
+///
+/// `calibrations` must contain every device named in the report; `stats`
+/// are the transpiled footprint used for per-circuit duration.
+///
+/// # Panics
+///
+/// Panics if a report device is missing from `calibrations`.
+pub fn estimate_timeline(
+    report: &QoncordReport,
+    calibrations: &[Calibration],
+    stats: &CircuitStats,
+    shots: u64,
+    queue: &QueueModel,
+) -> TimelineEstimate {
+    let by_name: HashMap<&str, &Calibration> =
+        calibrations.iter().map(|c| (c.name(), c)).collect();
+    let mut per_device = Vec::with_capacity(report.devices.len());
+    let mut busy = 0.0;
+    let mut wait = 0.0;
+    for usage in &report.devices {
+        let cal = by_name
+            .get(usage.device.as_str())
+            .unwrap_or_else(|| panic!("no calibration for device {}", usage.device));
+        let device_busy = usage.executions as f64 * cal.execution_time_s(stats, shots);
+        let device_wait = usage.executions as f64 * queue.wait_for(&usage.device);
+        busy += device_busy;
+        wait += device_wait;
+        per_device.push((usage.device.clone(), device_busy, device_wait));
+    }
+    TimelineEstimate {
+        per_device,
+        busy_seconds: busy,
+        wait_seconds: wait,
+    }
+}
+
+/// Speedup of `fast` relative to `slow` (makespan ratio).
+///
+/// # Panics
+///
+/// Panics if `fast`'s makespan is zero.
+pub fn speedup(slow: &TimelineEstimate, fast: &TimelineEstimate) -> f64 {
+    let denom = fast.makespan();
+    assert!(denom > 0.0, "fast timeline has zero makespan");
+    slow.makespan() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{EvaluatorFactory, QaoaFactory};
+    use crate::scheduler::{run_single_device, QoncordConfig, QoncordScheduler};
+    use qoncord_device::catalog;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn factory() -> QaoaFactory {
+        QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        }
+    }
+
+    fn stats() -> CircuitStats {
+        let backend =
+            qoncord_device::noise_model::SimulatedBackend::from_calibration(catalog::ibmq_kolkata());
+        factory().make(backend, 0).circuit_stats()
+    }
+
+    #[test]
+    fn queue_model_lookup_and_default() {
+        let q = QueueModel::new(1.0).with_wait("fast_device", 0.1);
+        assert_eq!(q.wait_for("fast_device"), 0.1);
+        assert_eq!(q.wait_for("unknown"), 1.0);
+    }
+
+    #[test]
+    fn timeline_accounts_all_devices() {
+        let cfg = QoncordConfig {
+            exploration_max_iterations: 10,
+            finetune_max_iterations: 10,
+            min_fidelity: 0.0,
+            seed: 3,
+            ..QoncordConfig::default()
+        };
+        let cals = [catalog::ibmq_toronto(), catalog::ibmq_kolkata()];
+        let report = QoncordScheduler::new(cfg)
+            .run(&cals, &factory(), 4)
+            .unwrap();
+        let queue = QueueModel::new(0.0)
+            .with_wait("ibmq_toronto", 0.3)
+            .with_wait("ibmq_kolkata", 3.0);
+        let t = estimate_timeline(&report, &cals, &stats(), 1000, &queue);
+        assert_eq!(t.per_device.len(), 2);
+        assert!(t.busy_seconds > 0.0);
+        assert!(t.wait_seconds > 0.0);
+        assert!(t.makespan() > t.busy_seconds);
+    }
+
+    #[test]
+    fn qoncord_beats_hf_only_under_queue_gap() {
+        // The Fig. 1 comparison expressed through the timeline model.
+        let cals = [catalog::ibmq_toronto(), catalog::ibmq_kolkata()];
+        let queue = QueueModel::new(0.0)
+            .with_wait("ibmq_toronto", 0.3)
+            .with_wait("ibmq_kolkata", 3.0);
+        let s = stats();
+        let hf = run_single_device(&catalog::ibmq_kolkata(), &factory(), 3, 20, 3);
+        let hf_time = estimate_timeline(&hf, &cals, &s, 1000, &queue);
+        let cfg = QoncordConfig {
+            exploration_max_iterations: 10,
+            finetune_max_iterations: 10,
+            min_fidelity: 0.0,
+            selection: crate::cluster::SelectionPolicy::TopK(2),
+            seed: 3,
+            ..QoncordConfig::default()
+        };
+        let q = QoncordScheduler::new(cfg).run(&cals, &factory(), 3).unwrap();
+        let q_time = estimate_timeline(&q, &cals, &s, 1000, &queue);
+        assert!(
+            speedup(&hf_time, &q_time) > 1.0,
+            "Qoncord must be faster: hf {:.1}s vs q {:.1}s",
+            hf_time.makespan(),
+            q_time.makespan()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration")]
+    fn missing_calibration_panics() {
+        let report = run_single_device(&catalog::ibmq_kolkata(), &factory(), 1, 5, 3);
+        let queue = QueueModel::new(0.0);
+        estimate_timeline(&report, &[], &stats(), 100, &queue);
+    }
+}

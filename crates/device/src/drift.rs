@@ -1,0 +1,230 @@
+//! Calibration-drift detection (Sec. IV-I of the paper).
+//!
+//! Device calibrations go stale between (expensive, infrequent) full
+//! calibration runs. The paper proposes that providers keep a sample of
+//! historical optimization outcomes and compare fresh outcomes against that
+//! baseline, flagging drift without extra executions. [`CalibrationTracker`]
+//! implements that scheme with a Welch-style two-sample z-test on the means.
+
+/// Tracks benchmark outcomes against a frozen baseline and reports drift.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_device::drift::CalibrationTracker;
+///
+/// let baseline = vec![0.90, 0.91, 0.89, 0.90, 0.92, 0.90, 0.91, 0.89];
+/// let mut tracker = CalibrationTracker::new("ibmq_kolkata", &baseline, 3.0);
+/// for _ in 0..8 {
+///     tracker.record(0.90);
+/// }
+/// assert!(!tracker.has_drifted());
+/// for _ in 0..8 {
+///     tracker.record(0.70); // device got much worse
+/// }
+/// assert!(tracker.has_drifted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibrationTracker {
+    device: String,
+    baseline_mean: f64,
+    baseline_var: f64,
+    baseline_n: usize,
+    recent: Vec<f64>,
+    window: usize,
+    z_threshold: f64,
+}
+
+impl CalibrationTracker {
+    /// Default number of recent samples compared against the baseline.
+    pub const DEFAULT_WINDOW: usize = 16;
+
+    /// Creates a tracker from baseline outcome samples.
+    ///
+    /// `z_threshold` is the |z|-score above which drift is reported (3.0 is a
+    /// conventional choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two baseline samples are supplied or the
+    /// threshold is not positive.
+    pub fn new(device: impl Into<String>, baseline: &[f64], z_threshold: f64) -> Self {
+        assert!(baseline.len() >= 2, "need at least two baseline samples");
+        assert!(z_threshold > 0.0, "threshold must be positive");
+        let n = baseline.len() as f64;
+        let mean = baseline.iter().sum::<f64>() / n;
+        let var = baseline.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        CalibrationTracker {
+            device: device.into(),
+            baseline_mean: mean,
+            baseline_var: var,
+            baseline_n: baseline.len(),
+            recent: Vec::new(),
+            window: Self::DEFAULT_WINDOW,
+            z_threshold,
+        }
+    }
+
+    /// Overrides the comparison window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two samples");
+        self.window = window;
+        self
+    }
+
+    /// Device this tracker monitors.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Baseline mean outcome.
+    pub fn baseline_mean(&self) -> f64 {
+        self.baseline_mean
+    }
+
+    /// Records a fresh benchmark outcome (keeps only the trailing window).
+    pub fn record(&mut self, outcome: f64) {
+        self.recent.push(outcome);
+        if self.recent.len() > self.window {
+            let excess = self.recent.len() - self.window;
+            self.recent.drain(..excess);
+        }
+    }
+
+    /// Number of recent samples currently held.
+    pub fn recent_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// The current drift z-score (`None` until at least two recent samples
+    /// exist).
+    pub fn z_score(&self) -> Option<f64> {
+        if self.recent.len() < 2 {
+            return None;
+        }
+        let n = self.recent.len() as f64;
+        let mean = self.recent.iter().sum::<f64>() / n;
+        let var = self
+            .recent
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        let se = (self.baseline_var / self.baseline_n as f64 + var / n).sqrt();
+        if se == 0.0 {
+            // Both samples are constant: drift iff means differ at all.
+            return Some(if (mean - self.baseline_mean).abs() > f64::EPSILON {
+                f64::INFINITY
+            } else {
+                0.0
+            });
+        }
+        Some((mean - self.baseline_mean) / se)
+    }
+
+    /// Returns `true` once the recent mean deviates beyond the threshold.
+    pub fn has_drifted(&self) -> bool {
+        self.z_score()
+            .map(|z| z.abs() >= self.z_threshold)
+            .unwrap_or(false)
+    }
+
+    /// Clears recent samples (e.g. after a recalibration) and adopts the
+    /// recent window as the new baseline when `adopt_recent` is set.
+    pub fn reset(&mut self, adopt_recent: bool) {
+        if adopt_recent && self.recent.len() >= 2 {
+            let n = self.recent.len() as f64;
+            let mean = self.recent.iter().sum::<f64>() / n;
+            let var = self
+                .recent
+                .iter()
+                .map(|x| (x - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0);
+            self.baseline_mean = mean;
+            self.baseline_var = var;
+            self.baseline_n = self.recent.len();
+        }
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Vec<f64> {
+        vec![0.80, 0.82, 0.79, 0.81, 0.80, 0.83, 0.78, 0.81]
+    }
+
+    #[test]
+    fn stable_outcomes_do_not_drift() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0);
+        for x in [0.81, 0.79, 0.80, 0.82, 0.80, 0.81] {
+            t.record(x);
+        }
+        assert!(!t.has_drifted());
+    }
+
+    #[test]
+    fn large_shift_drifts() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0);
+        for _ in 0..10 {
+            t.record(0.55);
+        }
+        assert!(t.has_drifted());
+        assert!(t.z_score().unwrap() < 0.0, "degradation is a negative shift");
+    }
+
+    #[test]
+    fn improvement_also_flags() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0);
+        for _ in 0..10 {
+            t.record(0.99);
+        }
+        assert!(t.has_drifted());
+        assert!(t.z_score().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0);
+        assert_eq!(t.z_score(), None);
+        t.record(0.2);
+        assert!(!t.has_drifted(), "one sample is not evidence");
+    }
+
+    #[test]
+    fn window_bounds_memory() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0).with_window(4);
+        for i in 0..20 {
+            t.record(i as f64);
+        }
+        assert_eq!(t.recent_len(), 4);
+    }
+
+    #[test]
+    fn reset_adopts_new_baseline() {
+        let mut t = CalibrationTracker::new("dev", &baseline(), 3.0);
+        for _ in 0..8 {
+            t.record(0.60);
+        }
+        assert!(t.has_drifted());
+        t.reset(true);
+        assert!((t.baseline_mean() - 0.60).abs() < 1e-12);
+        for _ in 0..8 {
+            t.record(0.60);
+        }
+        assert!(!t.has_drifted(), "new baseline absorbs the shift");
+    }
+
+    #[test]
+    #[should_panic(expected = "two baseline samples")]
+    fn tiny_baseline_panics() {
+        let _ = CalibrationTracker::new("dev", &[0.5], 3.0);
+    }
+}

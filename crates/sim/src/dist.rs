@@ -1,0 +1,407 @@
+//! Measurement-outcome distributions and the statistics Qoncord's
+//! convergence checker consumes: Shannon entropy, Hellinger fidelity, shot
+//! sampling, and readout-error application.
+
+use crate::noise::ReadoutError;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// A probability distribution over the `2^n` computational basis states of an
+/// `n`-qubit register (little-endian indexing).
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_sim::dist::ProbDist;
+///
+/// let uniform = ProbDist::uniform(2);
+/// assert!((uniform.shannon_entropy() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbDist {
+    n_qubits: usize,
+    probs: Vec<f64>,
+}
+
+impl ProbDist {
+    /// Creates a distribution from raw probabilities, renormalizing small
+    /// numerical drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two, any entry is negative
+    /// beyond `-1e-9`, or the total mass deviates from 1 by more than `1e-6`.
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert!(probs.len().is_power_of_two(), "length must be 2^n");
+        let n_qubits = probs.len().trailing_zeros() as usize;
+        let mut probs = probs;
+        for p in &mut probs {
+            assert!(*p > -1e-9, "negative probability {p}");
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total}, expected 1"
+        );
+        for p in &mut probs {
+            *p /= total;
+        }
+        ProbDist { n_qubits, probs }
+    }
+
+    /// The uniform distribution on `n_qubits` qubits.
+    pub fn uniform(n_qubits: usize) -> Self {
+        let len = 1usize << n_qubits;
+        ProbDist {
+            n_qubits,
+            probs: vec![1.0 / len as f64; len],
+        }
+    }
+
+    /// A point mass on basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn point_mass(n_qubits: usize, index: usize) -> Self {
+        let len = 1usize << n_qubits;
+        assert!(index < len, "index out of range");
+        let mut probs = vec![0.0; len];
+        probs[index] = 1.0;
+        ProbDist { n_qubits, probs }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow of the probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy in bits: `−Σ p log₂ p`.
+    pub fn shannon_entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Hellinger fidelity with `other`: `(Σ √(pᵢ qᵢ))²`, the square of the
+    /// Bhattacharyya coefficient. Equals 1 iff the distributions coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ.
+    pub fn hellinger_fidelity(&self, other: &ProbDist) -> f64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "register sizes differ");
+        let bc: f64 = self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(p, q)| (p * q).sqrt())
+            .sum();
+        bc * bc
+    }
+
+    /// Hellinger distance `√(1 − BC)` where `BC` is the Bhattacharyya
+    /// coefficient.
+    pub fn hellinger_distance(&self, other: &ProbDist) -> f64 {
+        let bc = self.hellinger_fidelity(other).sqrt();
+        (1.0 - bc).max(0.0).sqrt()
+    }
+
+    /// Total-variation distance `½ Σ |pᵢ − qᵢ|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ.
+    pub fn total_variation(&self, other: &ProbDist) -> f64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "register sizes differ");
+        0.5 * self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(p, q)| (p - q).abs())
+            .sum::<f64>()
+    }
+
+    /// Expectation of a diagonal observable (per-basis-state values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len() != 2^n`.
+    pub fn expectation_diagonal(&self, diag: &[f64]) -> f64 {
+        assert_eq!(diag.len(), self.probs.len());
+        self.probs.iter().zip(diag).map(|(p, d)| p * d).sum()
+    }
+
+    /// Expectation of a diagonal observable given by a closure over the
+    /// basis-state index.
+    pub fn expectation_fn(&self, f: impl Fn(usize) -> f64) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p * f(i))
+            .sum()
+    }
+
+    /// Applies per-qubit readout confusion matrices and returns the corrupted
+    /// distribution. `errors[q]` applies to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors.len() != n_qubits`.
+    pub fn with_readout_error(&self, errors: &[ReadoutError]) -> ProbDist {
+        assert_eq!(errors.len(), self.n_qubits, "one ReadoutError per qubit");
+        let mut probs = self.probs.clone();
+        for (q, err) in errors.iter().enumerate() {
+            if err.p_flip_0to1 == 0.0 && err.p_flip_1to0 == 0.0 {
+                continue;
+            }
+            let bit = 1usize << q;
+            for i in 0..probs.len() {
+                if i & bit != 0 {
+                    continue;
+                }
+                let p0 = probs[i];
+                let p1 = probs[i | bit];
+                probs[i] = p0 * (1.0 - err.p_flip_0to1) + p1 * err.p_flip_1to0;
+                probs[i | bit] = p0 * err.p_flip_0to1 + p1 * (1.0 - err.p_flip_1to0);
+            }
+        }
+        ProbDist {
+            n_qubits: self.n_qubits,
+            probs,
+        }
+    }
+
+    /// Applies a single uniform readout error to every qubit.
+    pub fn with_uniform_readout_error(&self, error: ReadoutError) -> ProbDist {
+        self.with_readout_error(&vec![error; self.n_qubits])
+    }
+
+    /// Samples `shots` measurement outcomes.
+    pub fn sample_counts(&self, shots: u64, rng: &mut impl Rng) -> Counts {
+        let mut cumulative = Vec::with_capacity(self.probs.len());
+        let mut acc = 0.0;
+        for &p in &self.probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let mut map: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..shots {
+            let r: f64 = rng.random();
+            let idx = cumulative
+                .partition_point(|&c| c < r)
+                .min(self.probs.len() - 1);
+            *map.entry(idx).or_insert(0) += 1;
+        }
+        Counts {
+            n_qubits: self.n_qubits,
+            shots,
+            map,
+        }
+    }
+
+    /// Mixes `self` toward `other` with weight `w`: `(1−w)·self + w·other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ or `w` is outside `[0, 1]`.
+    pub fn mix(&self, other: &ProbDist, w: f64) -> ProbDist {
+        assert_eq!(self.n_qubits, other.n_qubits);
+        assert!((0.0..=1.0).contains(&w), "weight must be in [0,1]");
+        let probs = self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(p, q)| (1.0 - w) * p + w * q)
+            .collect();
+        ProbDist {
+            n_qubits: self.n_qubits,
+            probs,
+        }
+    }
+}
+
+/// A histogram of measured basis states (the quantum analog of Qiskit's
+/// `Counts`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counts {
+    n_qubits: usize,
+    shots: u64,
+    map: HashMap<usize, u64>,
+}
+
+impl Counts {
+    /// Builds counts directly from `(basis index, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds the register size.
+    pub fn from_pairs(n_qubits: usize, pairs: impl IntoIterator<Item = (usize, u64)>) -> Self {
+        let mut map = HashMap::new();
+        let mut shots = 0;
+        for (idx, c) in pairs {
+            assert!(idx < (1usize << n_qubits), "basis index out of range");
+            *map.entry(idx).or_insert(0) += c;
+            shots += c;
+        }
+        Counts {
+            n_qubits,
+            shots,
+            map,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Total number of shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Count for a specific basis state.
+    pub fn count(&self, index: usize) -> u64 {
+        self.map.get(&index).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(basis index, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Converts the histogram to an empirical probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shots were recorded.
+    pub fn to_dist(&self) -> ProbDist {
+        assert!(self.shots > 0, "cannot normalize zero shots");
+        let mut probs = vec![0.0; 1usize << self.n_qubits];
+        for (&idx, &c) in &self.map {
+            probs[idx] = c as f64 / self.shots as f64;
+        }
+        ProbDist {
+            n_qubits: self.n_qubits,
+            probs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_entropy_is_n_bits() {
+        for n in 1..6 {
+            assert!((ProbDist::uniform(n).shannon_entropy() - n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn point_mass_entropy_is_zero() {
+        assert_eq!(ProbDist::point_mass(3, 5).shannon_entropy(), 0.0);
+    }
+
+    #[test]
+    fn hellinger_fidelity_self_is_one() {
+        let d = ProbDist::new(vec![0.1, 0.2, 0.3, 0.4]);
+        assert!((d.hellinger_fidelity(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_fidelity_disjoint_is_zero() {
+        let a = ProbDist::point_mass(1, 0);
+        let b = ProbDist::point_mass(1, 1);
+        assert_eq!(a.hellinger_fidelity(&b), 0.0);
+        assert!((a.hellinger_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let a = ProbDist::point_mass(2, 0);
+        let b = ProbDist::uniform(2);
+        let tv = a.total_variation(&b);
+        assert!(tv > 0.0 && tv <= 1.0);
+        assert!((tv - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_mixes_bit_pairs() {
+        let d = ProbDist::point_mass(1, 0).with_uniform_readout_error(ReadoutError::symmetric(0.1));
+        assert!((d.probabilities()[0] - 0.9).abs() < 1e-12);
+        assert!((d.probabilities()[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_preserves_mass() {
+        let d = ProbDist::new(vec![0.4, 0.1, 0.25, 0.25]);
+        let noisy =
+            d.with_readout_error(&[ReadoutError::new(0.02, 0.08), ReadoutError::symmetric(0.05)]);
+        let total: f64 = noisy.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_increases_entropy_of_point_mass() {
+        let clean = ProbDist::point_mass(3, 0);
+        let noisy = clean.with_uniform_readout_error(ReadoutError::symmetric(0.05));
+        assert!(noisy.shannon_entropy() > clean.shannon_entropy());
+    }
+
+    #[test]
+    fn sampling_concentrates_on_support() {
+        let d = ProbDist::new(vec![0.75, 0.25]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = d.sample_counts(10_000, &mut rng);
+        let p0 = counts.count(0) as f64 / 10_000.0;
+        assert!((p0 - 0.75).abs() < 0.02, "sampled p0 = {p0}");
+    }
+
+    #[test]
+    fn counts_roundtrip_to_dist() {
+        let counts = Counts::from_pairs(2, [(0, 30), (3, 70)]);
+        let d = counts.to_dist();
+        assert!((d.probabilities()[0] - 0.3).abs() < 1e-12);
+        assert!((d.probabilities()[3] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_fn_matches_diagonal() {
+        let d = ProbDist::new(vec![0.5, 0.0, 0.0, 0.5]);
+        // parity observable
+        let by_fn = d.expectation_fn(|i| if (i.count_ones() % 2) == 0 { 1.0 } else { -1.0 });
+        let by_diag = d.expectation_diagonal(&[1.0, -1.0, -1.0, 1.0]);
+        assert!((by_fn - by_diag).abs() < 1e-14);
+        assert!((by_fn - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mix_interpolates() {
+        let a = ProbDist::point_mass(1, 0);
+        let b = ProbDist::point_mass(1, 1);
+        let m = a.mix(&b, 0.25);
+        assert!((m.probabilities()[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn unnormalized_input_panics() {
+        let _ = ProbDist::new(vec![0.5, 0.2]);
+    }
+}

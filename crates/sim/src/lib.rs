@@ -1,0 +1,55 @@
+//! # qoncord-sim
+//!
+//! Quantum state-simulation substrate for the Qoncord reproduction
+//! (MICRO 2024, arXiv:2409.12432).
+//!
+//! The crate provides everything needed to emulate noisy NISQ executions on
+//! classical hardware:
+//!
+//! - [`math`] / [`linalg`] — complex arithmetic, dense matrices, and a Jacobi
+//!   Hermitian eigensolver (exact ground-state energies for approximation
+//!   ratios).
+//! - [`gates`] — standard single- and two-qubit gate matrices.
+//! - [`statevector`] — pure-state simulation (ideal executions).
+//! - [`density`] — exact mixed-state simulation with Kraus channels
+//!   (≤ ~10 qubits).
+//! - [`trajectory`] — Monte-Carlo unraveling for larger registers
+//!   (the paper's 14-qubit study).
+//! - [`noise`] — depolarizing / damping / thermal-relaxation channels and
+//!   classical readout error.
+//! - [`dist`] — outcome distributions with the statistics Qoncord's adaptive
+//!   convergence checker uses (Shannon entropy, Hellinger fidelity).
+//!
+//! ## Example
+//!
+//! ```
+//! use qoncord_sim::density::DensityMatrix;
+//! use qoncord_sim::gates;
+//! use qoncord_sim::noise::{NoiseChannel, ReadoutError};
+//!
+//! // A noisy Bell pair, as a cloud device would produce it.
+//! let mut rho = DensityMatrix::zero_state(2);
+//! rho.apply_1q(&gates::h(), 0);
+//! rho.apply_2q(&gates::cx(), 0, 1);
+//! rho.apply_channel(&NoiseChannel::depolarizing_2q(0.02), &[0, 1]);
+//! let dist = rho.probabilities().with_uniform_readout_error(ReadoutError::symmetric(0.01));
+//! assert!(dist.shannon_entropy() > 1.0); // noise raised the entropy above the ideal 1 bit
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod dist;
+pub mod gates;
+pub mod linalg;
+pub mod math;
+pub mod noise;
+pub mod statevector;
+pub mod trajectory;
+
+pub use density::DensityMatrix;
+pub use dist::{Counts, ProbDist};
+pub use linalg::Matrix;
+pub use math::C64;
+pub use noise::{NoiseChannel, ReadoutError};
+pub use statevector::StateVector;

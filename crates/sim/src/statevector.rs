@@ -1,0 +1,396 @@
+//! Pure-state (statevector) simulation.
+//!
+//! Basis states are indexed little-endian: bit `q` of the basis index is the
+//! state of qubit `q`. A register of `n` qubits holds `2^n` amplitudes.
+
+use crate::gates::{Mat2, Mat4};
+use crate::math::C64;
+
+/// The state of an `n`-qubit register as `2^n` complex amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_sim::statevector::StateVector;
+/// use qoncord_sim::gates;
+///
+/// let mut sv = StateVector::zero_state(1);
+/// sv.apply_1q(&gates::h(), 0);
+/// let probs = sv.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// assert!((probs[1] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 30, "statevector limited to 30 qubits");
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[0] = C64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// Creates the computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn basis_state(n_qubits: usize, index: usize) -> Self {
+        let mut sv = StateVector::zero_state(n_qubits);
+        assert!(index < sv.amps.len(), "basis index out of range");
+        sv.amps[0] = C64::ZERO;
+        sv.amps[index] = C64::ONE;
+        sv
+    }
+
+    /// Creates a state from raw amplitudes (must have power-of-two length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm is not ~1.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two(), "amplitude count must be 2^n");
+        let n_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sq()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state not normalized (norm² = {norm})"
+        );
+        StateVector { n_qubits, amps }
+    }
+
+    /// Number of qubits in the register.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow of the amplitude vector (little-endian basis order).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, u: &Mat2, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let stride = 1 << q;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = u[0][0] * a0 + u[0][1] * a1;
+                self.amps[i1] = u[1][0] * a0 + u[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a two-qubit gate to qubits `(q0, q1)`; the matrix acts on the
+    /// basis `|q1 q0⟩` (see [`crate::gates`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_2q(&mut self, u: &Mat4, q0: usize, q1: usize) {
+        assert!(q0 != q1, "two-qubit gate needs distinct qubits");
+        assert!(q0 < self.n_qubits && q1 < self.n_qubits, "qubit out of range");
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let len = self.amps.len();
+        for i in 0..len {
+            // Visit each 4-amplitude block once, anchored at the i with both bits clear.
+            if i & b0 != 0 || i & b1 != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | b0;
+            let i10 = i | b1;
+            let i11 = i | b0 | b1;
+            let a = [
+                self.amps[i00],
+                self.amps[i01],
+                self.amps[i10],
+                self.amps[i11],
+            ];
+            for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
+                self.amps[idx] =
+                    u[r][0] * a[0] + u[r][1] * a[1] + u[r][2] * a[2] + u[r][3] * a[3];
+            }
+        }
+    }
+
+    /// Fast path for CNOT (control `c`, target `t`): swaps amplitude pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_cx_fast(&mut self, c: usize, t: usize) {
+        assert!(c != t, "CNOT needs distinct qubits");
+        assert!(c < self.n_qubits && t < self.n_qubits, "qubit out of range");
+        let cb = 1usize << c;
+        let tb = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & cb != 0 && i & tb == 0 {
+                self.amps.swap(i, i | tb);
+            }
+        }
+    }
+
+    /// Fast path for RZ(θ) on `q`: multiplies the two half-spaces by
+    /// `e^{∓iθ/2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_rz_fast(&mut self, theta: f64, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        let lo = C64::cis(-theta / 2.0);
+        let hi = C64::cis(theta / 2.0);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a *= if i & bit == 0 { lo } else { hi };
+        }
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sq()).collect()
+    }
+
+    /// Probability that qubit `q` measures `1`.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sq())
+            .sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers have different sizes.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sq()
+    }
+
+    /// Squared norm of the state (1 for a valid state).
+    pub fn norm_sq(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+
+    /// Rescales amplitudes to unit norm.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sq().sqrt();
+        if n > 0.0 {
+            for a in &mut self.amps {
+                *a = *a / n;
+            }
+        }
+    }
+
+    /// Expectation of a diagonal observable given as per-basis-state values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len() != 2^n`.
+    pub fn expectation_diagonal(&self, diag: &[f64]) -> f64 {
+        assert_eq!(diag.len(), self.amps.len());
+        self.amps
+            .iter()
+            .zip(diag)
+            .map(|(a, d)| a.norm_sq() * d)
+            .sum()
+    }
+
+    /// Projects qubit `q` onto `outcome` (false = 0, true = 1) and
+    /// renormalizes; returns the pre-measurement probability of that outcome.
+    pub fn project_qubit(&mut self, q: usize, outcome: bool) -> f64 {
+        let bit = 1usize << q;
+        let mut p = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if ((i & bit) != 0) == outcome {
+                p += a.norm_sq();
+            }
+        }
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & bit) != 0) != outcome {
+                *a = C64::ZERO;
+            }
+        }
+        self.normalize();
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn zero_state_has_unit_amp_at_origin() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.amplitudes()[0], C64::ONE);
+        assert!((sv.norm_sq() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn x_flips_target_qubit_only() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_1q(&gates::x(), 1);
+        // Expect |010> = index 2
+        assert_eq!(sv.amplitudes()[2], C64::ONE);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::h(), 0);
+        sv.apply_2q(&gates::cx(), 0, 1); // control q0, target q1
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_respects_control_direction() {
+        // Control = q1 (second argument order swapped): prepare q1=1, expect q0 flip.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::x(), 1); // |10> = index 2
+        sv.apply_2q(&gates::cx(), 1, 0); // control q1, target q0
+        // now |11> = index 3
+        assert!((sv.probabilities()[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_on_four_qubits() {
+        let mut sv = StateVector::zero_state(4);
+        sv.apply_1q(&gates::h(), 0);
+        for q in 0..3 {
+            sv.apply_2q(&gates::cx(), q, q + 1);
+        }
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[15] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_application_preserves_norm() {
+        let mut sv = StateVector::zero_state(5);
+        for q in 0..5 {
+            sv.apply_1q(&gates::h(), q);
+            sv.apply_1q(&gates::t(), q);
+        }
+        for q in 0..4 {
+            sv.apply_2q(&gates::cx(), q, q + 1);
+        }
+        assert!((sv.norm_sq() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_one_on_plus_state() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::h(), 1);
+        assert!((sv.prob_one(1) - 0.5).abs() < 1e-12);
+        assert!(sv.prob_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states() {
+        let a = StateVector::basis_state(2, 1);
+        let b = StateVector::basis_state(2, 2);
+        assert_eq!(a.inner(&b), C64::ZERO);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn expectation_of_diagonal_z() {
+        // <Z0> on |1> is -1.
+        let sv = StateVector::basis_state(1, 1);
+        assert!((sv.expectation_diagonal(&[1.0, -1.0]) + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn projection_collapses_state() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_1q(&gates::h(), 0);
+        let p = sv.project_qubit(0, true);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((sv.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rzz_is_diagonal_phase() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::h(), 0);
+        sv.apply_1q(&gates::h(), 1);
+        let before = sv.probabilities();
+        sv.apply_2q(&gates::rzz(0.9), 0, 1);
+        let after = sv.probabilities();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_to_missing_qubit_panics() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::x(), 5);
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn cx_fast_matches_matrix_form() {
+        let mut a = StateVector::zero_state(3);
+        a.apply_1q(&gates::h(), 0);
+        a.apply_1q(&gates::t(), 1);
+        let mut b = a.clone();
+        a.apply_cx_fast(0, 2);
+        b.apply_2q(&gates::cx(), 0, 2);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_fast_matches_matrix_form() {
+        let mut a = StateVector::zero_state(2);
+        a.apply_1q(&gates::h(), 0);
+        let mut b = a.clone();
+        a.apply_rz_fast(-1.2, 0);
+        b.apply_1q(&gates::rz(-1.2), 0);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+}

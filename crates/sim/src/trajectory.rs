@@ -1,0 +1,258 @@
+//! Monte-Carlo quantum-trajectory simulation primitives.
+//!
+//! Instead of evolving a `4^n`-entry density matrix, a trajectory run evolves
+//! a statevector and *samples* one Kraus branch at every noise insertion.
+//! Averaging over trajectories yields an unbiased estimate of the exact
+//! density-matrix result; for mixed-unitary channels (depolarizing noise, the
+//! only gate noise the Qoncord paper's hypothetical 14-qubit devices use) the
+//! branch probabilities are state-independent and sampling is exact and
+//! cheap.
+//!
+//! The circuit-level driver lives in `qoncord-device` (which knows about
+//! circuits and calibrations); this module provides the per-channel sampling
+//! kernels.
+
+use crate::gates::{Mat2, Mat4};
+use crate::linalg::Matrix;
+use crate::math::C64;
+use crate::noise::NoiseChannel;
+use crate::statevector::StateVector;
+use rand::{Rng, RngExt};
+
+/// Samples one branch of `channel` and applies it to `sv` on `qubits`.
+///
+/// For [`NoiseChannel::MixedUnitary`] the branch is drawn from the fixed
+/// ensemble probabilities. For [`NoiseChannel::Kraus`] the branch
+/// probabilities are the state-dependent norms `‖Kᵢ|ψ⟩‖²` and the surviving
+/// branch is renormalized — the standard quantum-jump unraveling.
+///
+/// # Panics
+///
+/// Panics if the channel arity does not match `qubits.len()`.
+pub fn apply_stochastic(
+    sv: &mut StateVector,
+    channel: &NoiseChannel,
+    qubits: &[usize],
+    rng: &mut impl Rng,
+) {
+    assert_eq!(
+        channel.n_qubits(),
+        qubits.len(),
+        "channel arity does not match qubit list"
+    );
+    match channel {
+        NoiseChannel::MixedUnitary { ops } => {
+            let r: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut chosen = &ops[ops.len() - 1].1;
+            for (p, u) in ops {
+                acc += p;
+                if r < acc {
+                    chosen = u;
+                    break;
+                }
+            }
+            apply_matrix(sv, chosen, qubits);
+        }
+        NoiseChannel::Kraus { ops } => {
+            // Compute branch weights ‖Kᵢ|ψ⟩‖² lazily: clone per candidate.
+            let mut branches: Vec<(f64, StateVector)> = Vec::with_capacity(ops.len());
+            for k in ops {
+                let mut cand = sv.clone();
+                apply_matrix(&mut cand, k, qubits);
+                let w = cand.norm_sq();
+                branches.push((w, cand));
+            }
+            let total: f64 = branches.iter().map(|(w, _)| w).sum();
+            let r: f64 = rng.random::<f64>() * total;
+            let mut acc = 0.0;
+            let last = branches.len() - 1;
+            for (i, (w, cand)) in branches.into_iter().enumerate() {
+                acc += w;
+                if r < acc || i == last {
+                    let mut state = cand;
+                    state.normalize();
+                    *sv = state;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Applies a 2×2 or 4×4 [`Matrix`] to the statevector on the given qubits.
+///
+/// # Panics
+///
+/// Panics for arities other than one or two qubits.
+pub fn apply_matrix(sv: &mut StateVector, m: &Matrix, qubits: &[usize]) {
+    match qubits.len() {
+        1 => {
+            let u: Mat2 = {
+                let s = m.as_slice();
+                [[s[0], s[1]], [s[2], s[3]]]
+            };
+            sv.apply_1q(&u, qubits[0]);
+        }
+        2 => {
+            let s = m.as_slice();
+            let mut u: Mat4 = [[C64::ZERO; 4]; 4];
+            for r in 0..4 {
+                for c in 0..4 {
+                    u[r][c] = s[r * 4 + c];
+                }
+            }
+            sv.apply_2q(&u, qubits[0], qubits[1]);
+        }
+        n => panic!("matrices on {n} qubits are not supported"),
+    }
+}
+
+/// Accumulates per-basis-state probabilities across trajectories.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_sim::trajectory::TrajectoryAccumulator;
+/// use qoncord_sim::statevector::StateVector;
+///
+/// let mut acc = TrajectoryAccumulator::new(1);
+/// acc.add(&StateVector::zero_state(1));
+/// acc.add(&StateVector::basis_state(1, 1));
+/// let dist = acc.into_dist();
+/// assert!((dist.probabilities()[0] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrajectoryAccumulator {
+    n_qubits: usize,
+    sums: Vec<f64>,
+    count: u64,
+}
+
+impl TrajectoryAccumulator {
+    /// Creates an empty accumulator for `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        TrajectoryAccumulator {
+            n_qubits,
+            sums: vec![0.0; 1 << n_qubits],
+            count: 0,
+        }
+    }
+
+    /// Adds one trajectory's outcome probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register size differs.
+    pub fn add(&mut self, sv: &StateVector) {
+        assert_eq!(sv.n_qubits(), self.n_qubits);
+        for (s, a) in self.sums.iter_mut().zip(sv.amplitudes()) {
+            *s += a.norm_sq();
+        }
+        self.count += 1;
+    }
+
+    /// Number of trajectories accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes into an averaged probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trajectories were added.
+    pub fn into_dist(self) -> crate::dist::ProbDist {
+        assert!(self.count > 0, "no trajectories accumulated");
+        let n = self.count as f64;
+        crate::dist::ProbDist::new(self.sums.into_iter().map(|s| s / n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::ProbDist;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trajectory average over a depolarizing channel must converge to the
+    /// exact density-matrix result.
+    #[test]
+    fn trajectories_converge_to_density_matrix() {
+        use crate::density::DensityMatrix;
+        let p = 0.2;
+        // Exact reference.
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(&gates::h(), 0);
+        rho.apply_2q(&gates::cx(), 0, 1);
+        rho.apply_channel(&NoiseChannel::depolarizing_1q(p), &[0]);
+        let exact = rho.probabilities();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut acc = TrajectoryAccumulator::new(2);
+        let ch = NoiseChannel::depolarizing_1q(p);
+        for _ in 0..4000 {
+            let mut sv = StateVector::zero_state(2);
+            sv.apply_1q(&gates::h(), 0);
+            sv.apply_2q(&gates::cx(), 0, 1);
+            apply_stochastic(&mut sv, &ch, &[0], &mut rng);
+            acc.add(&sv);
+        }
+        let approx = acc.into_dist();
+        assert!(
+            exact.total_variation(&approx) < 0.03,
+            "tv distance too large: {}",
+            exact.total_variation(&approx)
+        );
+    }
+
+    #[test]
+    fn kraus_sampling_preserves_normalization() {
+        let ch = NoiseChannel::amplitude_damping(0.4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut sv = StateVector::zero_state(1);
+            sv.apply_1q(&gates::h(), 0);
+            apply_stochastic(&mut sv, &ch, &[0], &mut rng);
+            assert!((sv.norm_sq() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_trajectories_match_exact_decay() {
+        let gamma = 0.35;
+        let ch = NoiseChannel::amplitude_damping(gamma);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut acc = TrajectoryAccumulator::new(1);
+        for _ in 0..6000 {
+            let mut sv = StateVector::basis_state(1, 1);
+            apply_stochastic(&mut sv, &ch, &[0], &mut rng);
+            acc.add(&sv);
+        }
+        let dist = acc.into_dist();
+        // P(1) should be 1 - gamma.
+        assert!((dist.probabilities()[1] - (1.0 - gamma)).abs() < 0.02);
+    }
+
+    #[test]
+    fn accumulator_counts() {
+        let mut acc = TrajectoryAccumulator::new(1);
+        assert_eq!(acc.count(), 0);
+        acc.add(&StateVector::zero_state(1));
+        assert_eq!(acc.count(), 1);
+    }
+
+    #[test]
+    fn identity_channel_is_noop() {
+        let ch = NoiseChannel::identity(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_1q(&gates::h(), 0);
+        let before = ProbDist::new(sv.probabilities());
+        apply_stochastic(&mut sv, &ch, &[0], &mut rng);
+        let after = ProbDist::new(sv.probabilities());
+        assert!(before.total_variation(&after) < 1e-12);
+    }
+}

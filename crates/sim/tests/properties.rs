@@ -1,0 +1,141 @@
+//! Property-based tests of the simulation substrate's invariants.
+
+use proptest::prelude::*;
+use qoncord_sim::density::DensityMatrix;
+use qoncord_sim::dist::ProbDist;
+use qoncord_sim::gates;
+use qoncord_sim::noise::{NoiseChannel, ReadoutError};
+use qoncord_sim::statevector::StateVector;
+
+/// A short random gate program on `n` qubits encoded as opcodes.
+fn program(n: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
+    proptest::collection::vec(
+        (0u8..6, 0..n, 0..n, -3.2..3.2f64),
+        1..20,
+    )
+}
+
+fn apply_program_sv(sv: &mut StateVector, ops: &[(u8, usize, usize, f64)]) {
+    for &(op, a, b, angle) in ops {
+        match op {
+            0 => sv.apply_1q(&gates::h(), a),
+            1 => sv.apply_1q(&gates::rx(angle), a),
+            2 => sv.apply_1q(&gates::rz(angle), a),
+            3 => {
+                if a != b {
+                    sv.apply_2q(&gates::cx(), a, b)
+                }
+            }
+            4 => {
+                if a != b {
+                    sv.apply_2q(&gates::rzz(angle), a, b)
+                }
+            }
+            _ => sv.apply_1q(&gates::ry(angle), a),
+        }
+    }
+}
+
+fn apply_program_dm(rho: &mut DensityMatrix, ops: &[(u8, usize, usize, f64)]) {
+    for &(op, a, b, angle) in ops {
+        match op {
+            0 => rho.apply_1q(&gates::h(), a),
+            1 => rho.apply_1q(&gates::rx(angle), a),
+            2 => rho.apply_1q(&gates::rz(angle), a),
+            3 => {
+                if a != b {
+                    rho.apply_2q(&gates::cx(), a, b)
+                }
+            }
+            4 => {
+                if a != b {
+                    rho.apply_2q(&gates::rzz(angle), a, b)
+                }
+            }
+            _ => rho.apply_1q(&gates::ry(angle), a),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unitary evolution preserves the norm of any program's output.
+    #[test]
+    fn statevector_norm_preserved(ops in program(4)) {
+        let mut sv = StateVector::zero_state(4);
+        apply_program_sv(&mut sv, &ops);
+        prop_assert!((sv.norm_sq() - 1.0).abs() < 1e-9);
+    }
+
+    /// Density-matrix evolution of a pure program matches |ψ⟩⟨ψ|.
+    #[test]
+    fn density_matches_statevector(ops in program(3)) {
+        let mut sv = StateVector::zero_state(3);
+        let mut rho = DensityMatrix::zero_state(3);
+        apply_program_sv(&mut sv, &ops);
+        apply_program_dm(&mut rho, &ops);
+        let probs_sv = ProbDist::new(sv.probabilities());
+        let probs_dm = rho.probabilities();
+        prop_assert!(probs_sv.total_variation(&probs_dm) < 1e-8);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    /// Depolarizing channels keep trace 1 and never raise purity.
+    #[test]
+    fn channels_preserve_trace_and_shrink_purity(
+        ops in program(3),
+        p in 0.0..0.4f64,
+        q in 0..3usize,
+    ) {
+        let mut rho = DensityMatrix::zero_state(3);
+        apply_program_dm(&mut rho, &ops);
+        let purity_before = rho.purity();
+        rho.apply_channel(&NoiseChannel::depolarizing_1q(p), &[q]);
+        prop_assert!((rho.trace() - 1.0).abs() < 1e-9);
+        prop_assert!(rho.purity() <= purity_before + 1e-9);
+    }
+
+    /// Readout error is a stochastic map: preserves total mass, keeps
+    /// probabilities in range, never decreases entropy of a point mass.
+    #[test]
+    fn readout_error_is_stochastic(
+        idx in 0..8usize,
+        p01 in 0.0..0.4f64,
+        p10 in 0.0..0.4f64,
+    ) {
+        let d = ProbDist::point_mass(3, idx);
+        let noisy = d.with_uniform_readout_error(ReadoutError::new(p01, p10));
+        let total: f64 = noisy.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(noisy.shannon_entropy() >= -1e-12);
+    }
+
+    /// Hellinger fidelity is symmetric, bounded, and 1 on identical inputs.
+    #[test]
+    fn hellinger_fidelity_axioms(raw in proptest::collection::vec(0.01..1.0f64, 8)) {
+        let total: f64 = raw.iter().sum();
+        let d = ProbDist::new(raw.iter().map(|x| x / total).collect());
+        let u = ProbDist::uniform(3);
+        let f_du = d.hellinger_fidelity(&u);
+        let f_ud = u.hellinger_fidelity(&d);
+        prop_assert!((f_du - f_ud).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_du));
+        prop_assert!((d.hellinger_fidelity(&d) - 1.0).abs() < 1e-12);
+    }
+
+    /// Entropy is bounded by n bits and invariant under basis relabeling
+    /// via CX (a permutation of basis states).
+    #[test]
+    fn entropy_bounds_and_permutation_invariance(ops in program(3)) {
+        let mut sv = StateVector::zero_state(3);
+        apply_program_sv(&mut sv, &ops);
+        let d = ProbDist::new(sv.probabilities());
+        let h = d.shannon_entropy();
+        prop_assert!((0.0..=3.0 + 1e-9).contains(&h));
+        let mut permuted = sv.clone();
+        permuted.apply_cx_fast(0, 2);
+        let d2 = ProbDist::new(permuted.probabilities());
+        prop_assert!((d2.shannon_entropy() - h).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Gradient measurement: the exact parameter-shift rule and a general
+//! central-difference fallback.
+//!
+//! The two-point parameter-shift rule `∂E/∂θ = [E(θ+π/2) − E(θ−π/2)] / 2`
+//! is exact when a parameter enters **exactly one gate, with coefficient 1**
+//! and a Pauli generator (e.g. the hardware-efficient two-local ansatz).
+//! Workloads that share one parameter across many gates (QAOA's γ drives
+//! every edge) need [`finite_difference_gradient`] instead. The paper's
+//! gradient-saturation analysis (Sec. IV-B) compares gradient magnitudes
+//! across devices; this module provides that measurement plus a
+//! gradient-norm tracker usable as an exploration/fine-tuning phase
+//! signal.
+
+use crate::evaluator::CostEvaluator;
+use std::f64::consts::FRAC_PI_2;
+
+/// Computes the exact parameter-shift gradient of the evaluator's
+/// expectation at `params`. Costs `2·n_params` evaluations.
+///
+/// Only exact for circuits where each parameter appears in exactly one
+/// gate with unit coefficient (see the module docs); use
+/// [`finite_difference_gradient`] otherwise.
+///
+/// # Panics
+///
+/// Panics if `params.len() != evaluator.n_params()`.
+pub fn parameter_shift_gradient(
+    evaluator: &mut dyn CostEvaluator,
+    params: &[f64],
+) -> Vec<f64> {
+    assert_eq!(
+        params.len(),
+        evaluator.n_params(),
+        "parameter count mismatch"
+    );
+    let mut grad = Vec::with_capacity(params.len());
+    let mut work = params.to_vec();
+    for i in 0..params.len() {
+        work[i] = params[i] + FRAC_PI_2;
+        let plus = evaluator.evaluate(&work).expectation;
+        work[i] = params[i] - FRAC_PI_2;
+        let minus = evaluator.evaluate(&work).expectation;
+        work[i] = params[i];
+        grad.push(0.5 * (plus - minus));
+    }
+    grad
+}
+
+/// Central finite-difference gradient, valid for any parameterization
+/// (including shared parameters); costs `2·n_params` evaluations.
+///
+/// # Panics
+///
+/// Panics if `params.len() != evaluator.n_params()` or `epsilon <= 0`.
+pub fn finite_difference_gradient(
+    evaluator: &mut dyn CostEvaluator,
+    params: &[f64],
+    epsilon: f64,
+) -> Vec<f64> {
+    assert_eq!(
+        params.len(),
+        evaluator.n_params(),
+        "parameter count mismatch"
+    );
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let mut grad = Vec::with_capacity(params.len());
+    let mut work = params.to_vec();
+    for i in 0..params.len() {
+        work[i] = params[i] + epsilon;
+        let plus = evaluator.evaluate(&work).expectation;
+        work[i] = params[i] - epsilon;
+        let minus = evaluator.evaluate(&work).expectation;
+        work[i] = params[i];
+        grad.push((plus - minus) / (2.0 * epsilon));
+    }
+    grad
+}
+
+/// Euclidean norm of a gradient vector.
+pub fn gradient_norm(gradient: &[f64]) -> f64 {
+    gradient.iter().map(|g| g * g).sum::<f64>().sqrt()
+}
+
+/// Tracks gradient norms over training and reports saturation — the
+/// paper's signal that "gradients tend to saturate while the VQA task
+/// executes on the lower-fidelity device", marking the end of exploration.
+#[derive(Debug, Clone)]
+pub struct GradientSaturationTracker {
+    window: usize,
+    threshold: f64,
+    norms: Vec<f64>,
+}
+
+impl GradientSaturationTracker {
+    /// Creates a tracker: saturation is declared when the mean gradient
+    /// norm over the trailing `window` observations falls below `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `threshold < 0`.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        GradientSaturationTracker {
+            window,
+            threshold,
+            norms: Vec::new(),
+        }
+    }
+
+    /// Records one gradient norm.
+    pub fn observe(&mut self, norm: f64) {
+        self.norms.push(norm);
+    }
+
+    /// Mean norm over the trailing window, if filled.
+    pub fn trailing_mean(&self) -> Option<f64> {
+        if self.norms.len() < self.window {
+            return None;
+        }
+        let tail = &self.norms[self.norms.len() - self.window..];
+        Some(tail.iter().sum::<f64>() / self.window as f64)
+    }
+
+    /// Returns `true` once the trailing mean falls below the threshold.
+    pub fn is_saturated(&self) -> bool {
+        self.trailing_mean()
+            .map(|m| m < self.threshold)
+            .unwrap_or(false)
+    }
+
+    /// All recorded norms.
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::QaoaEvaluator;
+    use crate::graph::Graph;
+    use crate::maxcut::MaxCut;
+    use qoncord_device::catalog;
+    use qoncord_device::noise_model::SimulatedBackend;
+
+    /// A two-local ansatz on the triangle Max-Cut problem: every RY has its
+    /// own parameter with coefficient 1, so the shift rule is exact.
+    fn two_local_evaluator(ideal: bool) -> QaoaEvaluator {
+        let problem = MaxCut::new(Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]));
+        let circuit = crate::uccsd::two_local_ansatz(3, 1);
+        let backend = if ideal {
+            SimulatedBackend::ideal(catalog::ibmq_kolkata())
+        } else {
+            SimulatedBackend::from_calibration(catalog::ibmq_toronto())
+        };
+        QaoaEvaluator::from_circuit(&problem, &circuit, backend, 0)
+    }
+
+    fn qaoa_evaluator(ideal: bool) -> QaoaEvaluator {
+        let problem = MaxCut::new(Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]));
+        let backend = if ideal {
+            SimulatedBackend::ideal(catalog::ibmq_kolkata())
+        } else {
+            SimulatedBackend::from_calibration(catalog::ibmq_toronto())
+        };
+        QaoaEvaluator::new(&problem, 1, backend, 0)
+    }
+
+    #[test]
+    fn parameter_shift_matches_finite_difference_on_two_local() {
+        let mut eval = two_local_evaluator(true);
+        let params: Vec<f64> = (0..eval.n_params()).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let analytic = parameter_shift_gradient(&mut eval, &params);
+        let fd = finite_difference_gradient(&mut eval, &params, 1e-5);
+        for i in 0..params.len() {
+            assert!(
+                (analytic[i] - fd[i]).abs() < 1e-5,
+                "param {i}: shift {} vs fd {}",
+                analytic[i],
+                fd[i]
+            );
+        }
+    }
+
+    #[test]
+    fn finite_difference_handles_shared_qaoa_parameters() {
+        // QAOA shares γ across all edges, so only the general rule applies.
+        let mut eval = qaoa_evaluator(true);
+        let fd = finite_difference_gradient(&mut eval, &[0.7, 0.3], 1e-5);
+        assert!(gradient_norm(&fd) > 0.1, "QAOA gradient must be non-trivial");
+    }
+
+    #[test]
+    fn gradient_vanishes_at_stationary_points() {
+        // All-zero parameters leave the two-local ansatz at |000⟩, a
+        // computational-basis state where every RY derivative is zero for a
+        // diagonal cost... verify against finite differences instead of
+        // assuming: both must agree near zero.
+        let mut eval = two_local_evaluator(true);
+        let zeros = vec![0.0; eval.n_params()];
+        let analytic = parameter_shift_gradient(&mut eval, &zeros);
+        let fd = finite_difference_gradient(&mut eval, &zeros, 1e-5);
+        for (a, b) in analytic.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn noise_shrinks_gradient_magnitude() {
+        // The paper's Sec. IV-B observation: the noisy device's landscape
+        // is flatter.
+        let params = [0.9, 0.4];
+        let g_ideal = {
+            let mut eval = qaoa_evaluator(true);
+            gradient_norm(&finite_difference_gradient(&mut eval, &params, 1e-4))
+        };
+        let g_noisy = {
+            let mut eval = qaoa_evaluator(false);
+            gradient_norm(&finite_difference_gradient(&mut eval, &params, 1e-4))
+        };
+        assert!(
+            g_noisy < g_ideal,
+            "noisy norm {g_noisy} must be below ideal {g_ideal}"
+        );
+    }
+
+    #[test]
+    fn gradient_costs_two_evals_per_parameter() {
+        let mut eval = qaoa_evaluator(true);
+        parameter_shift_gradient(&mut eval, &[0.1, 0.2]);
+        assert_eq!(eval.executions(), 4);
+        finite_difference_gradient(&mut eval, &[0.1, 0.2], 1e-4);
+        assert_eq!(eval.executions(), 8);
+    }
+
+    #[test]
+    fn saturation_tracker_fires_on_flat_tail() {
+        let mut t = GradientSaturationTracker::new(3, 0.1);
+        for n in [1.0, 0.8, 0.5, 0.05, 0.04, 0.03] {
+            t.observe(n);
+        }
+        assert!(t.is_saturated());
+        assert!((t.trailing_mean().unwrap() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_needs_full_window() {
+        let mut t = GradientSaturationTracker::new(5, 0.1);
+        t.observe(0.01);
+        assert!(!t.is_saturated(), "one sample is not a window");
+    }
+}

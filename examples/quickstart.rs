@@ -1,0 +1,58 @@
+//! Quickstart: schedule a multi-restart QAOA task across the paper's two
+//! anchor devices and print the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::scheduler::{QoncordConfig, QoncordScheduler};
+use qoncord::device::catalog;
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+
+fn main() {
+    // 1. A VQA workload: Max-Cut on the paper's 7-node Erdős–Rényi graph,
+    //    solved by a 1-layer QAOA ansatz.
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    println!(
+        "problem: max-cut on {} nodes / {} edges, ground energy {:.2}",
+        problem.graph().n_nodes(),
+        problem.graph().n_edges(),
+        problem.ground_energy()
+    );
+    let factory = QaoaFactory {
+        problem: problem.clone(),
+        layers: 1,
+    };
+
+    // 2. A device fleet: the low-fidelity ibmq_toronto and high-fidelity
+    //    ibmq_kolkata models from the paper's Sec. V-D.
+    let devices = [catalog::ibmq_toronto(), catalog::ibmq_kolkata()];
+
+    // 3. Run Qoncord: exploration on the LF device, restart triage, then
+    //    fine-tuning on the HF device.
+    let config = QoncordConfig {
+        exploration_max_iterations: 20,
+        finetune_max_iterations: 25,
+        ..QoncordConfig::default()
+    };
+    let report = QoncordScheduler::new(config)
+        .run(&devices, &factory, 8)
+        .expect("both devices pass the fidelity filter at 1 layer");
+
+    // 4. Inspect the outcome.
+    println!("\nper-device usage:");
+    for dev in &report.devices {
+        println!(
+            "  {:14}  P_correct {:.3}  executions {}",
+            dev.device, dev.p_correct, dev.executions
+        );
+    }
+    println!(
+        "\nrestarts: {} total, {} terminated at triage",
+        report.restarts.len(),
+        report.terminated_restarts()
+    );
+    println!(
+        "best approximation ratio: {:.3}",
+        report.best_approximation_ratio()
+    );
+}

@@ -1,0 +1,57 @@
+//! Domain example: restart triage in isolation — run cheap exploration on
+//! the LF device, cluster the intermediate expectation values, and show
+//! which restarts Qoncord would promote (the paper's Sec. IV-C insight).
+//!
+//! Run with: `cargo run --release --example restart_triage`
+
+use qoncord::core::cluster::{select_restarts, SelectionPolicy};
+use qoncord::device::catalog;
+use qoncord::device::noise_model::SimulatedBackend;
+use qoncord::vqa::evaluator::QaoaEvaluator;
+use qoncord::vqa::optimizer::Spsa;
+use qoncord::vqa::restart::{random_initial_points, train};
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n_restarts = 12;
+    let exploration_iters = 20;
+    let problem = MaxCut::new(Graph::paper_graph_7());
+    println!(
+        "exploring {n_restarts} restarts for {exploration_iters} iterations on ibmq_toronto\n"
+    );
+    let mut intermediates = Vec::new();
+    for (r, initial) in random_initial_points(2, n_restarts, 3)
+        .into_iter()
+        .enumerate()
+    {
+        let backend = SimulatedBackend::from_calibration(catalog::ibmq_toronto());
+        let mut eval = QaoaEvaluator::new(&problem, 1, backend, r as u64);
+        let mut spsa = Spsa::default();
+        let mut rng = StdRng::seed_from_u64(100 + r as u64);
+        let result = train(
+            &mut eval,
+            &mut spsa,
+            initial,
+            exploration_iters,
+            &mut rng,
+            |_, _| false,
+        );
+        intermediates.push(result.trace.final_expectation().unwrap());
+    }
+    let survivors = select_restarts(&intermediates, SelectionPolicy::TopCluster);
+    for (r, e) in intermediates.iter().enumerate() {
+        let verdict = if survivors.contains(&r) {
+            "promote to HF device"
+        } else {
+            "terminate"
+        };
+        println!("restart {r:2}  intermediate E = {e:7.3}   -> {verdict}");
+    }
+    println!(
+        "\n{} of {} restarts proceed to fine-tuning; the rest stop after the cheap phase",
+        survivors.len(),
+        n_restarts
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration tests of the cloud layer against the device layer: policy
+//! frontiers, the headline speedup direction, and P_correct consistency
+//! between the estimator and actual noisy behaviour.
+
+use qoncord::circuit::transpile::transpile;
+use qoncord::cloud::device::hypothetical_fleet;
+use qoncord::cloud::policy::Policy;
+use qoncord::cloud::sim::simulate;
+use qoncord::cloud::workload::{generate_workload, WorkloadConfig};
+use qoncord::device::catalog;
+use qoncord::device::fidelity::p_correct;
+use qoncord::device::noise_model::SimulatedBackend;
+use qoncord::vqa::qaoa;
+use qoncord::vqa::graph::Graph;
+
+#[test]
+fn queue_sim_frontier_shape_holds() {
+    let jobs = generate_workload(&WorkloadConfig {
+        n_jobs: 250,
+        vqa_ratio: 0.5,
+        ..WorkloadConfig::default()
+    });
+    let fleet = hypothetical_fleet(10, 0.3, 0.9);
+    let bf = simulate(Policy::BestFidelity, &jobs, &fleet, 3);
+    let lb = simulate(Policy::LeastBusy, &jobs, &fleet, 3);
+    let q = simulate(Policy::Qoncord, &jobs, &fleet, 3);
+    // Who wins on what, per Fig. 12.
+    assert!(bf.mean_relative_fidelity(0.9) >= q.mean_relative_fidelity(0.9));
+    assert!(q.mean_relative_fidelity(0.9) > lb.mean_relative_fidelity(0.9));
+    assert!(lb.throughput() >= q.throughput() * 0.5);
+    assert!(q.throughput() > bf.throughput());
+}
+
+#[test]
+fn headline_speedup_direction() {
+    let jobs = generate_workload(&WorkloadConfig {
+        n_jobs: 250,
+        vqa_ratio: 0.7,
+        ..WorkloadConfig::default()
+    });
+    let fleet = hypothetical_fleet(10, 0.3, 0.9);
+    let bf = simulate(Policy::BestFidelity, &jobs, &fleet, 3);
+    let q = simulate(Policy::Qoncord, &jobs, &fleet, 3);
+    let turnaround = |r: &qoncord::cloud::sim::SimulationResult| -> f64 {
+        r.outcomes
+            .iter()
+            .zip(&jobs)
+            .filter(|(_, j)| j.is_vqa)
+            .map(|(o, j)| o.turnaround(j))
+            .sum::<f64>()
+    };
+    // Qoncord's VQA jobs must finish much faster than queue-bound BF jobs.
+    assert!(
+        turnaround(&bf) > 2.0 * turnaround(&q),
+        "expected a large speedup: bf {} vs q {}",
+        turnaround(&bf),
+        turnaround(&q)
+    );
+}
+
+#[test]
+fn p_correct_ranking_predicts_noisy_fidelity_ranking() {
+    // The estimator's device ordering must agree with actual Hellinger
+    // fidelity of noisy executions — that is all Qoncord needs from Eq. 1.
+    let graph = Graph::paper_graph_7();
+    let circuit = qaoa::build_circuit(&graph, 1);
+    let params = vec![0.7, 0.35];
+    let mut estimates = Vec::new();
+    let mut measured = Vec::new();
+    for cal in [catalog::ibmq_toronto(), catalog::ibmq_kolkata(), catalog::ibm_hanoi()] {
+        let transpiled = transpile(&circuit, cal.coupling());
+        estimates.push(p_correct(&cal, &transpiled.stats));
+        let ideal = SimulatedBackend::ideal(cal.clone()).run(&transpiled, &params, 0);
+        let noisy = SimulatedBackend::from_calibration(cal).run(&transpiled, &params, 0);
+        measured.push(ideal.hellinger_fidelity(&noisy));
+    }
+    // Same ordering on both metrics.
+    let order = |v: &[f64]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+        idx
+    };
+    assert_eq!(order(&estimates), order(&measured));
+}
+
+#[test]
+fn eqc_pays_execution_overhead() {
+    let jobs = generate_workload(&WorkloadConfig {
+        n_jobs: 250,
+        vqa_ratio: 0.7,
+        ..WorkloadConfig::default()
+    });
+    let fleet = hypothetical_fleet(10, 0.3, 0.9);
+    let eqc = simulate(Policy::Eqc, &jobs, &fleet, 3);
+    let lb = simulate(Policy::LeastBusy, &jobs, &fleet, 3);
+    assert!(eqc.executed_circuits > lb.executed_circuits);
+}

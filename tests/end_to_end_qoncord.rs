@@ -1,0 +1,126 @@
+//! Integration tests spanning the full stack: workload → transpilation →
+//! noisy simulation → optimization → Qoncord scheduling.
+
+use qoncord::core::cluster::SelectionPolicy;
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::scheduler::{run_single_device, QoncordConfig, QoncordScheduler};
+use qoncord::device::catalog;
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+
+fn factory(layers: usize) -> QaoaFactory {
+    QaoaFactory {
+        problem: MaxCut::new(Graph::paper_graph_7()),
+        layers,
+    }
+}
+
+fn quick_config() -> QoncordConfig {
+    QoncordConfig {
+        exploration_max_iterations: 12,
+        finetune_max_iterations: 15,
+        min_fidelity: 0.0,
+        seed: 21,
+        ..QoncordConfig::default()
+    }
+}
+
+#[test]
+fn qoncord_ladder_runs_lf_then_hf() {
+    let report = QoncordScheduler::new(quick_config())
+        .run(
+            &[catalog::ibmq_kolkata(), catalog::ibmq_toronto()],
+            &factory(1),
+            5,
+        )
+        .unwrap();
+    // Ladder is fidelity-sorted regardless of argument order.
+    assert_eq!(report.devices[0].device, "ibmq_toronto");
+    assert_eq!(report.devices[1].device, "ibmq_kolkata");
+    assert!(report.devices[0].p_correct < report.devices[1].p_correct);
+    // Every restart explored on the LF device; survivors fine-tuned on HF.
+    for r in &report.restarts {
+        assert_eq!(r.phases[0].device, "ibmq_toronto");
+        if r.phases.len() > 1 {
+            assert!(r.survived);
+        }
+    }
+}
+
+#[test]
+fn qoncord_quality_beats_lf_only_baseline() {
+    let restarts = 6;
+    let lf_report = run_single_device(&catalog::ibmq_toronto(), &factory(2), restarts, 27, 21);
+    let q_report = QoncordScheduler::new(quick_config())
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory(2),
+            restarts,
+        )
+        .unwrap();
+    // Fig. 19-style claim: Qoncord's best ratio should at least match the
+    // LF-only baseline given the same exploration budget.
+    assert!(
+        q_report.best_approximation_ratio() >= lf_report.best_approximation_ratio() - 0.02,
+        "qoncord {:.3} vs LF-only {:.3}",
+        q_report.best_approximation_ratio(),
+        lf_report.best_approximation_ratio()
+    );
+}
+
+#[test]
+fn qoncord_offloads_majority_of_work_to_lf_device() {
+    let report = QoncordScheduler::new(quick_config())
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory(1),
+            8,
+        )
+        .unwrap();
+    let lf = report.devices[0].executions as f64;
+    let total = report.total_executions() as f64;
+    // Fig. 14's shape: the LF device absorbs most executions.
+    assert!(
+        lf / total > 0.5,
+        "LF share {:.2} should exceed one half",
+        lf / total
+    );
+}
+
+#[test]
+fn single_restart_mode_keeps_the_restart() {
+    let config = QoncordConfig {
+        selection: SelectionPolicy::All,
+        ..quick_config()
+    };
+    let report = QoncordScheduler::new(config)
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory(1),
+            1,
+        )
+        .unwrap();
+    assert_eq!(report.restarts.len(), 1);
+    assert!(report.restarts[0].survived);
+    assert!(report.restarts[0].phases.len() >= 1);
+}
+
+#[test]
+fn reports_are_reproducible_across_runs() {
+    let a = QoncordScheduler::new(quick_config())
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory(1),
+            4,
+        )
+        .unwrap();
+    let b = QoncordScheduler::new(quick_config())
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory(1),
+            4,
+        )
+        .unwrap();
+    assert_eq!(a.best_expectation(), b.best_expectation());
+    assert_eq!(a.total_executions(), b.total_executions());
+    assert_eq!(a.terminated_restarts(), b.terminated_restarts());
+}

@@ -1,0 +1,100 @@
+//! Cross-crate physics checks with property-based tests: the simulators,
+//! transpiler, and noise machinery must agree with each other on shared
+//! invariants regardless of circuit shape.
+
+use proptest::prelude::*;
+use qoncord::circuit::coupling::CouplingMap;
+use qoncord::circuit::transpile::transpile;
+use qoncord::circuit::Circuit;
+use qoncord::device::catalog;
+use qoncord::device::noise_model::{BackendKind, SimulatedBackend};
+use qoncord::sim::dist::ProbDist;
+
+/// A random small circuit from a compact gate alphabet.
+fn arbitrary_circuit(n_qubits: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..n_qubits).prop_map(|q| (0usize, q, 0usize, 0.0)),
+        ((0..n_qubits), -3.0..3.0f64).prop_map(|(q, a)| (1usize, q, 0usize, a)),
+        ((0..n_qubits), (0..n_qubits)).prop_map(|(a, b)| (2usize, a, b, 0.0)),
+        ((0..n_qubits), -3.0..3.0f64).prop_map(|(q, a)| (3usize, q, 0usize, a)),
+    ];
+    proptest::collection::vec(gate, 1..24).prop_map(move |ops| {
+        let mut qc = Circuit::new(n_qubits, 0);
+        for (kind, a, b, angle) in ops {
+            match kind {
+                0 => {
+                    qc.h(a);
+                }
+                1 => {
+                    qc.rz(a, angle);
+                }
+                2 => {
+                    if a != b {
+                        qc.cx(a, b);
+                    }
+                }
+                _ => {
+                    qc.ry(a, angle);
+                }
+            }
+        }
+        qc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transpilation must preserve the outcome distribution exactly
+    /// (routing permutations undone), for any random circuit.
+    #[test]
+    fn transpilation_preserves_distribution(circuit in arbitrary_circuit(4)) {
+        let t = transpile(&circuit, &CouplingMap::falcon_27());
+        let ideal = ProbDist::new(circuit.simulate_ideal(&[]).probabilities());
+        let routed = ProbDist::new(
+            t.remap_probabilities(&t.circuit.simulate_ideal(&[]).probabilities()),
+        );
+        prop_assert!(ideal.total_variation(&routed) < 1e-6);
+    }
+
+    /// Density and trajectory backends must agree in distribution for any
+    /// random circuit under depolarizing noise.
+    #[test]
+    fn density_and_trajectory_backends_agree(circuit in arbitrary_circuit(3)) {
+        let cal = catalog::ibmq_toronto();
+        let t = transpile(&circuit, cal.coupling());
+        let dense = SimulatedBackend::from_calibration(cal.clone())
+            .with_kind(BackendKind::DensityMatrix)
+            .run(&t, &[], 0);
+        let traj = SimulatedBackend::from_calibration(cal)
+            .with_kind(BackendKind::Trajectory { n_trajectories: 1200 })
+            .run(&t, &[], 11);
+        prop_assert!(dense.total_variation(&traj) < 0.05,
+            "tv {}", dense.total_variation(&traj));
+    }
+
+    /// Noise never *increases* the Hellinger fidelity to the ideal output
+    /// beyond 1, and the noisy distribution remains normalized.
+    #[test]
+    fn noisy_output_is_valid_distribution(circuit in arbitrary_circuit(4)) {
+        let cal = catalog::ibmq_toronto();
+        let t = transpile(&circuit, cal.coupling());
+        let noisy = SimulatedBackend::from_calibration(cal).run(&t, &[], 0);
+        let total: f64 = noisy.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(noisy.probabilities().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Entropy of the noisy output is at least the ideal output's entropy
+    /// minus numerical slack for depolarizing + readout noise on these
+    /// random circuits (noise can only blur computational-basis structure).
+    #[test]
+    fn depolarizing_noise_does_not_sharpen_distributions(circuit in arbitrary_circuit(3)) {
+        let cal = catalog::ibmq_toronto();
+        let t = transpile(&circuit, cal.coupling());
+        let ideal = SimulatedBackend::ideal(cal.clone()).run(&t, &[], 0);
+        let noisy = SimulatedBackend::from_calibration(cal).run(&t, &[], 0);
+        prop_assert!(noisy.shannon_entropy() >= ideal.shannon_entropy() - 0.05,
+            "ideal {} noisy {}", ideal.shannon_entropy(), noisy.shannon_entropy());
+    }
+}

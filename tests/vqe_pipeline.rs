@@ -1,0 +1,103 @@
+//! Integration test of the VQE pipeline: Hamiltonian → UCCSD ansatz →
+//! measurement grouping → noisy optimization reaches chemical-accuracy
+//! territory on the ideal backend and degrades gracefully under noise.
+
+use qoncord::core::cluster::SelectionPolicy;
+use qoncord::core::executor::VqeFactory;
+use qoncord::core::scheduler::{run_single_device, QoncordConfig, QoncordScheduler};
+use qoncord::device::catalog;
+use qoncord::device::noise_model::SimulatedBackend;
+use qoncord::vqa::evaluator::{CostEvaluator, VqeEvaluator};
+use qoncord::vqa::optimizer::Spsa;
+use qoncord::vqa::restart::train;
+use qoncord::vqa::{uccsd, vqe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ideal_vqe_training_approaches_ground_energy() {
+    let h = vqe::h2_hamiltonian();
+    let ansatz = uccsd::uccsd_h2_ansatz(vqe::h2_hartree_fock_state());
+    let backend = SimulatedBackend::ideal(catalog::ibmq_kolkata());
+    let mut eval = VqeEvaluator::new(&h, &ansatz, backend, 0);
+    let mut spsa = Spsa::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let result = train(
+        &mut eval,
+        &mut spsa,
+        vec![0.0, 0.0, 0.0],
+        80,
+        &mut rng,
+        |_, _| false,
+    );
+    let best = result.trace.best_expectation().unwrap();
+    let ground = vqe::h2_ground_energy();
+    assert!(
+        best - ground < 0.01,
+        "best {best} should be within 10 mHa of ground {ground}"
+    );
+}
+
+#[test]
+fn noisy_vqe_is_worse_than_ideal_but_bounded() {
+    let h = vqe::h2_hamiltonian();
+    let ansatz = uccsd::uccsd_h2_ansatz(vqe::h2_hartree_fock_state());
+    let run = |backend: SimulatedBackend| -> f64 {
+        let mut eval = VqeEvaluator::new(&h, &ansatz, backend, 0);
+        let mut spsa = Spsa::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        train(&mut eval, &mut spsa, vec![0.0; 3], 40, &mut rng, |_, _| false)
+            .trace
+            .best_expectation()
+            .unwrap()
+    };
+    let ideal = run(SimulatedBackend::ideal(catalog::ibmq_kolkata()));
+    let noisy = run(SimulatedBackend::from_calibration(catalog::ibmq_toronto()));
+    assert!(noisy >= ideal - 1e-9, "noise cannot beat the ideal optimum");
+    // Still variationally bounded and recognizably in the molecular basin
+    // (Toronto's noise costs ~0.9 Ha on this deep ansatz, but the optimizer
+    // must not diverge to the unbound region near zero).
+    assert!(noisy < -0.5, "noisy energy {noisy} left the physical basin");
+}
+
+#[test]
+fn qoncord_vqe_matches_hf_within_a_percent() {
+    let factory = VqeFactory {
+        hamiltonian: vqe::h2_hamiltonian(),
+        ansatz: uccsd::uccsd_h2_ansatz(vqe::h2_hartree_fock_state()),
+    };
+    let iterations = 30;
+    let hf_report = run_single_device(&catalog::ibmq_kolkata(), &factory, 1, iterations, 9);
+    let config = QoncordConfig {
+        exploration_max_iterations: iterations / 2,
+        finetune_max_iterations: iterations / 2,
+        min_fidelity: 0.0,
+        selection: SelectionPolicy::All,
+        seed: 9,
+        ..QoncordConfig::default()
+    };
+    let q_report = QoncordScheduler::new(config)
+        .run(
+            &[catalog::ibmq_toronto(), catalog::ibmq_kolkata()],
+            &factory,
+            1,
+        )
+        .unwrap();
+    let gap = (q_report.best_expectation() - hf_report.best_expectation()).abs()
+        / hf_report.best_expectation().abs();
+    // The paper reports 0.3 %; allow 2 % at this reduced iteration budget.
+    assert!(gap < 0.02, "Qoncord-vs-HF energy gap {gap:.4}");
+}
+
+#[test]
+fn vqe_evaluator_counts_executions_per_group() {
+    let h = vqe::h2_hamiltonian();
+    let ansatz = uccsd::uccsd_h2_ansatz(vqe::h2_hartree_fock_state());
+    let backend = SimulatedBackend::from_calibration(catalog::ibmq_kolkata());
+    let mut eval = VqeEvaluator::new(&h, &ansatz, backend, 0);
+    let groups = eval.n_groups() as u64;
+    assert!(groups >= 2, "H2 needs more than one measurement basis");
+    eval.evaluate(&[0.1, 0.0, 0.2]);
+    eval.evaluate(&[0.1, 0.0, 0.2]);
+    assert_eq!(eval.executions(), 2 * groups);
+}
