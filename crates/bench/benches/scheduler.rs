@@ -50,7 +50,13 @@ fn bench_spsa_step(c: &mut Criterion) {
 
 fn bench_clustering(c: &mut Criterion) {
     let values: Vec<f64> = (0..200)
-        .map(|i| if i % 3 == 0 { -6.8 + 0.01 * i as f64 % 0.2 } else { -4.0 })
+        .map(|i| {
+            if i % 3 == 0 {
+                -6.8 + 0.01 * i as f64 % 0.2
+            } else {
+                -4.0
+            }
+        })
         .collect();
     c.bench_function("cluster/select_restarts_200", |b| {
         b.iter(|| select_restarts(&values, SelectionPolicy::TopCluster));

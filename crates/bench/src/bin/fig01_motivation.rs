@@ -75,7 +75,7 @@ fn main() {
             fmt(hf_report.best_approximation_ratio(), 3),
             hf_report.total_executions().to_string(),
             fmt(hf_time, 0),
-            fmt(hf_time / hf_time, 2),
+            fmt(1.0, 2),
         ],
         vec![
             "Qoncord".to_string(),
@@ -87,7 +87,13 @@ fn main() {
     ];
     println!("Fig. 1: motivation — single-device baselines vs Qoncord ({restarts} restarts)\n");
     print_table(
-        &["Mode", "best approx ratio", "executions", "makespan (s)", "speedup vs HF"],
+        &[
+            "Mode",
+            "best approx ratio",
+            "executions",
+            "makespan (s)",
+            "speedup vs HF",
+        ],
         &rows,
     );
     println!(

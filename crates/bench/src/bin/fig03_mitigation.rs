@@ -11,8 +11,8 @@ use qoncord_circuit::transpile::transpile;
 use qoncord_device::catalog;
 use qoncord_device::mitigation::MitigationStack;
 use qoncord_device::noise_model::{NoiseModel, SimulatedBackend};
-use qoncord_vqa::uccsd::two_local_ansatz;
 use qoncord_vqa::restart::random_initial_points;
+use qoncord_vqa::uccsd::two_local_ansatz;
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -25,7 +25,13 @@ fn main() {
     let params = random_initial_points(ansatz.n_params(), 1, args.seed).remove(0);
     // Ideal expectation of the all-Z parity observable (the "expectation
     // value" axis of Fig. 3, normalized so ideal = 1).
-    let parity = |z: usize| if z.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+    let parity = |z: usize| {
+        if z.count_ones().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        }
+    };
     let ideal_dist = SimulatedBackend::ideal(cal.clone()).run(&transpiled, &params, 0);
     let ideal_e = ideal_dist.expectation_fn(parity);
     let base_noise = NoiseModel::from_calibration(&cal);
@@ -37,7 +43,11 @@ fn main() {
         let backend = SimulatedBackend::from_calibration(cal.clone()).with_noise(noise);
         let dist = backend.run(&transpiled, &params, args.seed);
         let e = dist.expectation_fn(parity);
-        let relative = if ideal_e.abs() > 1e-9 { e / ideal_e } else { 1.0 };
+        let relative = if ideal_e.abs() > 1e-9 {
+            e / ideal_e
+        } else {
+            1.0
+        };
         let time_s = cal.execution_time_s(&transpiled.stats, shots) * stack.latency_multiplier();
         rows.push(vec![
             stack.label(),
@@ -45,13 +55,12 @@ fn main() {
             fmt((1.0 - relative).abs(), 4),
             fmt(time_s, 2),
         ]);
-        csv.push(vec![
-            stack.label(),
-            fmt(relative, 6),
-            fmt(time_s, 4),
-        ]);
+        csv.push(vec![stack.label(), fmt(relative, 6), fmt(time_s, 4)]);
     }
-    println!("Fig. 3: error mitigation trade-off ({}q two-local, {} shots)\n", n_qubits, shots);
+    println!(
+        "Fig. 3: error mitigation trade-off ({}q two-local, {} shots)\n",
+        n_qubits, shots
+    );
     print_table(
         &["Mitigation", "E / E_ideal", "error", "exec time (s)"],
         &rows,

@@ -33,9 +33,14 @@ fn main() {
         let mut eval = QaoaEvaluator::new(&problem, 2, backend, args.seed + r as u64);
         let mut spsa = Spsa::default();
         let mut rng = StdRng::seed_from_u64(args.seed ^ (r as u64) << 4);
-        let result = train(&mut eval, &mut spsa, initial.clone(), iterations, &mut rng, |_, _| {
-            false
-        });
+        let result = train(
+            &mut eval,
+            &mut spsa,
+            initial.clone(),
+            iterations,
+            &mut rng,
+            |_, _| false,
+        );
         for rec in &result.trace.records {
             csv.push(vec![
                 r.to_string(),
@@ -53,7 +58,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["Restart", "initial point", "final expectation", "approx ratio"],
+        &[
+            "Restart",
+            "initial point",
+            "final expectation",
+            "approx ratio",
+        ],
         &rows,
     );
     let best = finals.iter().cloned().fold(f64::INFINITY, f64::min);

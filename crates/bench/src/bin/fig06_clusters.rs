@@ -29,7 +29,14 @@ fn main() {
         let mut eval = QaoaEvaluator::new(&problem, 1, backend, args.seed + r as u64);
         let mut spsa = Spsa::default();
         let mut rng = StdRng::seed_from_u64(args.seed ^ (r as u64) << 3);
-        let result = train(&mut eval, &mut spsa, initial, iterations, &mut rng, |_, _| false);
+        let result = train(
+            &mut eval,
+            &mut spsa,
+            initial,
+            iterations,
+            &mut rng,
+            |_, _| false,
+        );
         intermediates.push(result.trace.at_fraction(0.4).unwrap().expectation);
         finals.push(result.trace.final_expectation().unwrap());
     }
@@ -45,16 +52,18 @@ fn main() {
         .map(|(a, b)| (a - mi) * (b - mf))
         .sum();
     let (si, sf) = (
-        intermediates.iter().map(|a| (a - mi).powi(2)).sum::<f64>().sqrt(),
+        intermediates
+            .iter()
+            .map(|a| (a - mi).powi(2))
+            .sum::<f64>()
+            .sqrt(),
         finals.iter().map(|b| (b - mf).powi(2)).sum::<f64>().sqrt(),
     );
     let pearson = cov / (si * sf + 1e-12);
     let selected = select_restarts(&intermediates, SelectionPolicy::TopCluster);
     // Quality of selection: mean final value of selected vs rejected.
-    let sel_mean: f64 =
-        selected.iter().map(|&i| finals[i]).sum::<f64>() / selected.len() as f64;
-    let rejected: Vec<usize> =
-        (0..n_restarts).filter(|i| !selected.contains(i)).collect();
+    let sel_mean: f64 = selected.iter().map(|&i| finals[i]).sum::<f64>() / selected.len() as f64;
+    let rejected: Vec<usize> = (0..n_restarts).filter(|i| !selected.contains(i)).collect();
     let rej_mean: f64 = if rejected.is_empty() {
         f64::NAN
     } else {
@@ -67,7 +76,12 @@ fn main() {
                 i.to_string(),
                 fmt(intermediates[i], 3),
                 fmt(finals[i], 3),
-                if selected.contains(&i) { "selected" } else { "terminated" }.into(),
+                if selected.contains(&i) {
+                    "selected"
+                } else {
+                    "terminated"
+                }
+                .into(),
             ]
         })
         .collect();

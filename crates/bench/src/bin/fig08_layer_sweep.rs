@@ -38,13 +38,23 @@ fn main() {
                     problem.approximation_ratio(eval.evaluate(&initial).expectation);
                 let mut spsa = Spsa::default();
                 let mut rng = StdRng::seed_from_u64(args.seed + r as u64);
-                let result =
-                    train(&mut eval, &mut spsa, initial, iterations, &mut rng, |_, _| false);
-                let final_ratio = problem
-                    .approximation_ratio(result.trace.best_expectation().unwrap_or(0.0));
+                let result = train(
+                    &mut eval,
+                    &mut spsa,
+                    initial,
+                    iterations,
+                    &mut rng,
+                    |_, _| false,
+                );
+                let final_ratio =
+                    problem.approximation_ratio(result.trace.best_expectation().unwrap_or(0.0));
                 best_gain = best_gain.max(final_ratio - initial_ratio);
             }
-            let below = if fidelity < MIN_FIDELITY_THRESHOLD { "*" } else { "" };
+            let below = if fidelity < MIN_FIDELITY_THRESHOLD {
+                "*"
+            } else {
+                ""
+            };
             row.push(format!("{:.2} (P={:.2}{below})", best_gain, fidelity));
             csv.push(vec![
                 cal.name().to_string(),

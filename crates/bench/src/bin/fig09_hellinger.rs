@@ -4,14 +4,14 @@
 //! spread — the paper's argument for the adaptive convergence checker).
 
 use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
+use qoncord_circuit::transpile::transpile;
 use qoncord_device::catalog;
 use qoncord_device::fidelity::p_correct;
 use qoncord_device::noise_model::SimulatedBackend;
+use qoncord_sim::dist::ProbDist;
 use qoncord_vqa::qaoa;
 use qoncord_vqa::restart::random_initial_points;
 use qoncord_vqa::{graph::Graph, metrics};
-use qoncord_circuit::transpile::transpile;
-use qoncord_sim::dist::ProbDist;
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -23,7 +23,10 @@ fn main() {
     let noisy = SimulatedBackend::from_calibration(cal.clone());
     let ideal = SimulatedBackend::ideal(cal.clone());
     let mut fidelities = Vec::with_capacity(n_sets);
-    for (i, params) in random_initial_points(2, n_sets, args.seed).iter().enumerate() {
+    for (i, params) in random_initial_points(2, n_sets, args.seed)
+        .iter()
+        .enumerate()
+    {
         let clean = ideal.run(&transpiled, params, i as u64);
         let dirty = noisy.run(&transpiled, params, i as u64);
         fidelities.push(clean.hellinger_fidelity(&dirty));

@@ -22,7 +22,10 @@ fn main() {
     let mut csv = Vec::new();
     let mut rows = Vec::new();
     let backends = [
-        ("noise-free", SimulatedBackend::ideal(catalog::ibmq_kolkata())),
+        (
+            "noise-free",
+            SimulatedBackend::ideal(catalog::ibmq_kolkata()),
+        ),
         (
             "ibmq_kolkata",
             SimulatedBackend::from_calibration(catalog::ibmq_kolkata()),
@@ -77,7 +80,13 @@ fn main() {
     }
     println!("Fig. 10: entropy arc over training per device\n");
     print_table(
-        &["Device", "final E", "entropy range", "joint stop @", "E-only stop @"],
+        &[
+            "Device",
+            "final E",
+            "entropy range",
+            "joint stop @",
+            "E-only stop @",
+        ],
         &rows,
     );
     println!("\n(expectation-only checking fires no later than joint checking; when it fires");

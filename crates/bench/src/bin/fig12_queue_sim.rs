@@ -47,7 +47,13 @@ fn main() {
         "Fig. 12: fidelity-throughput analysis ({n_jobs} jobs, 10 devices, fidelity 0.3-0.9)\n"
     );
     print_table(
-        &["Policy", "VQA ratio", "throughput (circ/s)", "rel. fidelity", "load CV"],
+        &[
+            "Policy",
+            "VQA ratio",
+            "throughput (circ/s)",
+            "rel. fidelity",
+            "load CV",
+        ],
         &rows,
     );
     println!("\n(Qoncord rows should dominate: fidelity near Best Fidelity at throughput near Least Busy)");

@@ -110,11 +110,18 @@ fn main() {
         }
     }
     print_table(
-        &["Mode", "min", "median", "mean", "max", "executions per device"],
+        &[
+            "Mode",
+            "min",
+            "median",
+            "mean",
+            "max",
+            "executions per device",
+        ],
         &rows,
     );
-    let lf_share = q_report.devices[0].executions as f64
-        / q_report.total_executions().max(1) as f64;
+    let lf_share =
+        q_report.devices[0].executions as f64 / q_report.total_executions().max(1) as f64;
     println!(
         "\nQoncord: {} of {restarts} restarts terminated at triage; LF executes {:.0}% of circuits",
         q_report.terminated_restarts(),
@@ -131,7 +138,11 @@ fn main() {
             csv.push(vec![label.to_string(), i.to_string(), fmt(*ratio, 6)]);
         }
     }
-    write_csv("fig13_ratios.csv", &["mode", "restart", "approx_ratio"], &csv);
+    write_csv(
+        "fig13_ratios.csv",
+        &["mode", "restart", "approx_ratio"],
+        &csv,
+    );
     let overhead: Vec<Vec<String>> = [
         ("lf", &lf_report),
         ("hf", &hf_report),
@@ -148,5 +159,9 @@ fn main() {
         })
     })
     .collect();
-    write_csv("fig14_overhead.csv", &["mode", "device", "executions"], &overhead);
+    write_csv(
+        "fig14_overhead.csv",
+        &["mode", "device", "executions"],
+        &overhead,
+    );
 }

@@ -19,10 +19,7 @@ fn ratio_stats(report: &QoncordReport, survivors_only: bool) -> BoxStats {
             .restarts
             .iter()
             .map(|r| {
-                qoncord_vqa::metrics::approximation_ratio(
-                    r.final_expectation,
-                    report.ground_energy,
-                )
+                qoncord_vqa::metrics::approximation_ratio(r.final_expectation, report.ground_energy)
             })
             .collect()
     };
@@ -94,7 +91,10 @@ fn main() {
         fmt(stats.max, 6),
         q.total_executions().to_string(),
     ]);
-    print_table(&["Mode", "mean ratio", "max ratio", "total executions"], &rows);
+    print_table(
+        &["Mode", "mean ratio", "max ratio", "total executions"],
+        &rows,
+    );
     println!("\nQoncord per-device executions: {device_execs}");
     println!("(paper: Qoncord max is the highest; mean >8% above all single-device modes)");
     write_csv(

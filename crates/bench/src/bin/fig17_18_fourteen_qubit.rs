@@ -25,7 +25,12 @@ impl EvaluatorFactory for TrajectoryQaoaFactory {
         let backend = backend.with_kind(BackendKind::Trajectory {
             n_trajectories: self.n_trajectories,
         });
-        Box::new(QaoaEvaluator::new(&self.problem, self.layers, backend, seed))
+        Box::new(QaoaEvaluator::new(
+            &self.problem,
+            self.layers,
+            backend,
+            seed,
+        ))
     }
 }
 
@@ -37,10 +42,7 @@ fn ratio_stats(report: &QoncordReport, survivors_only: bool) -> BoxStats {
             .restarts
             .iter()
             .map(|r| {
-                qoncord_vqa::metrics::approximation_ratio(
-                    r.final_expectation,
-                    report.ground_energy,
-                )
+                qoncord_vqa::metrics::approximation_ratio(r.final_expectation, report.ground_energy)
             })
             .collect()
     };
@@ -107,7 +109,10 @@ fn main() {
         fmt(stats.max, 6),
         q.total_executions().to_string(),
     ]);
-    print_table(&["Mode", "mean ratio", "max ratio", "total executions"], &rows);
+    print_table(
+        &["Mode", "mean ratio", "max ratio", "total executions"],
+        &rows,
+    );
     let device_execs: String = q
         .devices
         .iter()

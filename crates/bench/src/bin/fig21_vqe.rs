@@ -39,21 +39,17 @@ fn main() {
     let q = QoncordScheduler::new(config)
         .run(&[lf, hf], &factory, restarts)
         .expect("devices viable");
-    let rows: Vec<Vec<String>> = [
-        ("LF only", &lf_rep),
-        ("HF only", &hf_rep),
-        ("Qoncord", &q),
-    ]
-    .iter()
-    .map(|(label, r)| {
-        vec![
-            label.to_string(),
-            fmt(r.best_expectation(), 5),
-            fmt(r.best_approximation_ratio(), 4),
-            r.total_executions().to_string(),
-        ]
-    })
-    .collect();
+    let rows: Vec<Vec<String>> = [("LF only", &lf_rep), ("HF only", &hf_rep), ("Qoncord", &q)]
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.to_string(),
+                fmt(r.best_expectation(), 5),
+                fmt(r.best_approximation_ratio(), 4),
+                r.total_executions().to_string(),
+            ]
+        })
+        .collect();
     print_table(
         &["Mode", "best energy (Ha)", "approx ratio", "executions"],
         &rows,
@@ -71,9 +67,6 @@ fn main() {
     write_csv(
         "fig21_vqe.csv",
         &["mode", "best_energy", "approx_ratio", "executions"],
-        &rows
-            .iter()
-            .map(|r| r.clone())
-            .collect::<Vec<_>>(),
+        &rows,
     );
 }

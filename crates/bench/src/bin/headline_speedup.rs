@@ -64,10 +64,6 @@ fn main() {
         &["Policy", "mean VQA turnaround (s)", "mean rel. fidelity"],
         &rows,
     );
-    println!(
-        "\ntime-to-similar-quality speedup vs Best Fidelity: {speedup:.1}x (paper: 17.4x)"
-    );
-    println!(
-        "quality gain vs same-budget Least Busy: {quality_gain:.1}% (paper: 13.3%)"
-    );
+    println!("\ntime-to-similar-quality speedup vs Best Fidelity: {speedup:.1}x (paper: 17.4x)");
+    println!("quality gain vs same-budget Least Busy: {quality_gain:.1}% (paper: 13.3%)");
 }

@@ -25,7 +25,13 @@ fn main() {
         .collect();
     println!("Table I: fidelity and wait times\n");
     print_table(
-        &["Provider", "Device", "Gate Fidelity (%)", "#AQ", "Wait Time"],
+        &[
+            "Provider",
+            "Device",
+            "Gate Fidelity (%)",
+            "#AQ",
+            "Wait Time",
+        ],
         &rows,
     );
     let rigetti = &entries[0];
@@ -45,7 +51,13 @@ fn main() {
     );
     write_csv(
         "table1_wait_times.csv",
-        &["provider", "device", "gate_fidelity_pct", "aq", "wait_hours"],
+        &[
+            "provider",
+            "device",
+            "gate_fidelity_pct",
+            "aq",
+            "wait_hours",
+        ],
         &entries
             .iter()
             .map(|e| {

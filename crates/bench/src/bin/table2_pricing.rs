@@ -24,7 +24,13 @@ fn main() {
         .collect();
     println!("Table II: Amazon Braket pricing\n");
     print_table(
-        &["Provider", "Device", "Execution Time/Gate", "Price/Task", "Price/Shot"],
+        &[
+            "Provider",
+            "Device",
+            "Execution Time/Gate",
+            "Price/Task",
+            "Price/Shot",
+        ],
         &rows,
     );
     let rigetti = &entries[0];
@@ -46,7 +52,13 @@ fn main() {
     );
     write_csv(
         "table2_pricing.csv",
-        &["provider", "device", "time_per_gate_us", "price_per_task", "price_per_shot"],
+        &[
+            "provider",
+            "device",
+            "time_per_gate_us",
+            "price_per_task",
+            "price_per_shot",
+        ],
         &entries
             .iter()
             .map(|e| {

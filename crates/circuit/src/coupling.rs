@@ -54,7 +54,9 @@ impl CouplingMap {
 
     /// A 1-D chain `0 – 1 – … – (n−1)`.
     pub fn linear(n_qubits: usize) -> Self {
-        let edges: Vec<_> = (0..n_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges: Vec<_> = (0..n_qubits.saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         CouplingMap::new(n_qubits, &edges)
     }
 

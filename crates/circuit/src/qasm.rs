@@ -77,21 +77,12 @@ pub fn to_qasm(circuit: &Circuit, params: &[f64]) -> Result<String, ExportQasmEr
             GateKind::Ry => format!("ry({}) q[{}];", a[0], gate.qubits[0]),
             GateKind::Rz => format!("rz({}) q[{}];", a[0], gate.qubits[0]),
             GateKind::P => format!("p({}) q[{}];", a[0], gate.qubits[0]),
-            GateKind::U3 => format!(
-                "u3({},{},{}) q[{}];",
-                a[0], a[1], a[2], gate.qubits[0]
-            ),
+            GateKind::U3 => format!("u3({},{},{}) q[{}];", a[0], a[1], a[2], gate.qubits[0]),
             GateKind::Cx => format!("cx q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
             GateKind::Cz => format!("cz q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
             GateKind::Swap => format!("swap q[{}],q[{}];", gate.qubits[0], gate.qubits[1]),
-            GateKind::Rzz => format!(
-                "rzz({}) q[{}],q[{}];",
-                a[0], gate.qubits[0], gate.qubits[1]
-            ),
-            GateKind::Crz => format!(
-                "crz({}) q[{}],q[{}];",
-                a[0], gate.qubits[0], gate.qubits[1]
-            ),
+            GateKind::Rzz => format!("rzz({}) q[{}],q[{}];", a[0], gate.qubits[0], gate.qubits[1]),
+            GateKind::Crz => format!("crz({}) q[{}],q[{}];", a[0], gate.qubits[0], gate.qubits[1]),
         };
         out.push_str(&line);
         out.push('\n');
@@ -154,9 +145,20 @@ mod tests {
             .rzz(0, 1, 0.5);
         let qasm = to_qasm(&qc, &[]).unwrap();
         for needle in [
-            "h q[0];", "x q[1];", "y q[2];", "z q[0];", "s q[1];", "sdg q[2];",
-            "sx q[0];", "rx(0.1) q[1];", "ry(0.2) q[2];", "rz(0.3) q[0];",
-            "p(0.4) q[1];", "cx q[0],q[1];", "cz q[1],q[2];", "swap q[0],q[2];",
+            "h q[0];",
+            "x q[1];",
+            "y q[2];",
+            "z q[0];",
+            "s q[1];",
+            "sdg q[2];",
+            "sx q[0];",
+            "rx(0.1) q[1];",
+            "ry(0.2) q[2];",
+            "rz(0.3) q[0];",
+            "p(0.4) q[1];",
+            "cx q[0],q[1];",
+            "cz q[1],q[2];",
+            "swap q[0],q[2];",
             "rzz(0.5) q[0],q[1];",
         ] {
             assert!(qasm.contains(needle), "missing {needle} in:\n{qasm}");

@@ -244,9 +244,7 @@ pub fn optimize(circuit: &Circuit) -> Circuit {
         }
         if let Some(last) = gates.last() {
             // Merge rz·rz on the same qubit.
-            if gate.kind == GateKind::Rz
-                && last.kind == GateKind::Rz
-                && last.qubits == gate.qubits
+            if gate.kind == GateKind::Rz && last.kind == GateKind::Rz && last.qubits == gate.qubits
             {
                 if let Some(merged) = merge_angles(last.angles[0], gate.angles[0]) {
                     let q = gate.qubits[0];
@@ -463,11 +461,11 @@ fn route(circuit: &Circuit, coupling: &CouplingMap) -> (Circuit, Vec<usize>, usi
     let mut emitted = 0usize;
 
     let emit = |g: usize,
-                    out: &mut Circuit,
-                    layout: &[usize],
-                    ready: &mut Vec<usize>,
-                    indegree: &mut [usize],
-                    emitted: &mut usize| {
+                out: &mut Circuit,
+                layout: &[usize],
+                ready: &mut Vec<usize>,
+                indegree: &mut [usize],
+                emitted: &mut usize| {
         let gate = &gates[g];
         let mapped: Vec<usize> = gate.qubits.iter().map(|&q| layout[q]).collect();
         out.push(Gate::new(gate.kind, mapped, gate.angles.clone()));
@@ -496,7 +494,14 @@ fn route(circuit: &Circuit, coupling: &CouplingMap) -> (Circuit, Vec<usize>, usi
                 };
                 if executable {
                     ready.swap_remove(i);
-                    emit(g, &mut out, &layout, &mut ready, &mut indegree, &mut emitted);
+                    emit(
+                        g,
+                        &mut out,
+                        &layout,
+                        &mut ready,
+                        &mut indegree,
+                        &mut emitted,
+                    );
                     progressed = true;
                 } else {
                     i += 1;
@@ -537,10 +542,8 @@ fn route(circuit: &Circuit, coupling: &CouplingMap) -> (Circuit, Vec<usize>, usi
                     p
                 }
             };
-            let new_pairs: Vec<(usize, usize)> = blocked
-                .iter()
-                .map(|&(a, b)| (remap(a), remap(b)))
-                .collect();
+            let new_pairs: Vec<(usize, usize)> =
+                blocked.iter().map(|&(a, b)| (remap(a), remap(b))).collect();
             let c = cost(&dist, &new_pairs);
             if c < base_cost && best.map(|(_, bc)| c < bc).unwrap_or(true) {
                 best = Some(((ea, eb), c));
@@ -715,7 +718,13 @@ mod tests {
     #[test]
     fn optimize_preserves_distribution() {
         let mut qc = Circuit::new(2, 1);
-        qc.h(0).rz(0, 0.2).rz(0, ParamId(0)).cx(0, 1).cx(0, 1).x(1).x(1);
+        qc.h(0)
+            .rz(0, 0.2)
+            .rz(0, ParamId(0))
+            .cx(0, 1)
+            .cx(0, 1)
+            .x(1)
+            .x(1);
         let opt = optimize(&qc);
         assert_same_distribution(&qc, &opt, &[0.9]);
         assert!(opt.len() < qc.len());
@@ -752,7 +761,11 @@ mod tests {
         let routed = t.remap_probabilities(&routed_raw);
         let a = ProbDist::new(ideal);
         let b = ProbDist::new(routed);
-        assert!(a.total_variation(&b) < 1e-9, "tv = {}", a.total_variation(&b));
+        assert!(
+            a.total_variation(&b) < 1e-9,
+            "tv = {}",
+            a.total_variation(&b)
+        );
     }
 
     #[test]

@@ -10,41 +10,39 @@ use qoncord_circuit::transpile::{decompose_to_basis, optimize, transpile};
 use qoncord_sim::dist::ProbDist;
 
 fn arbitrary_circuit(n: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0u8..8, 0..n, 0..n, -3.0..3.0f64), 1..18).prop_map(
-        move |ops| {
-            let mut qc = Circuit::new(n, 1);
-            for (op, a, b, angle) in ops {
-                match op {
-                    0 => {
-                        qc.h(a);
-                    }
-                    1 => {
-                        qc.rx(a, angle);
-                    }
-                    2 => {
-                        qc.ry(a, angle);
-                    }
-                    3 => {
-                        qc.rz(a, ParamId(0));
-                    }
-                    4 if a != b => {
-                        qc.cx(a, b);
-                    }
-                    5 if a != b => {
-                        qc.rzz(a, b, angle);
-                    }
-                    6 if a != b => {
-                        qc.cz(a, b);
-                    }
-                    7 if a != b => {
-                        qc.swap(a, b);
-                    }
-                    _ => {}
+    proptest::collection::vec((0u8..8, 0..n, 0..n, -3.0..3.0f64), 1..18).prop_map(move |ops| {
+        let mut qc = Circuit::new(n, 1);
+        for (op, a, b, angle) in ops {
+            match op {
+                0 => {
+                    qc.h(a);
                 }
+                1 => {
+                    qc.rx(a, angle);
+                }
+                2 => {
+                    qc.ry(a, angle);
+                }
+                3 => {
+                    qc.rz(a, ParamId(0));
+                }
+                4 if a != b => {
+                    qc.cx(a, b);
+                }
+                5 if a != b => {
+                    qc.rzz(a, b, angle);
+                }
+                6 if a != b => {
+                    qc.cz(a, b);
+                }
+                7 if a != b => {
+                    qc.swap(a, b);
+                }
+                _ => {}
             }
-            qc
-        },
-    )
+        }
+        qc
+    })
 }
 
 proptest! {

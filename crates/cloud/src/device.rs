@@ -179,6 +179,7 @@ mod tests {
         let mut d = CloudDevice::new(0, 0.5, 1.0);
         d.schedule(0.0, 2.0); // [0,2)
         d.schedule(10.0, 2.0); // [10,12)
+
         // A 3-second block fits in the [2,10) gap.
         assert_eq!(d.schedule(0.0, 3.0), 2.0);
         // A 9-second block does not; it goes after the horizon.

@@ -98,7 +98,10 @@ impl FairShareQueue {
 
     /// Records `seconds` of consumption against `user`'s share.
     pub fn record_usage(&mut self, user: &str, seconds: f64) {
-        self.usage.entry(user.to_owned()).or_default().consumed_seconds += seconds;
+        self.usage
+            .entry(user.to_owned())
+            .or_default()
+            .consumed_seconds += seconds;
     }
 
     /// Ages all users' consumption by `factor` (e.g. nightly decay toward
@@ -150,13 +153,11 @@ impl FairShareQueue {
             .min_by(|a, b| {
                 let sa = self.score(a.1);
                 let sb = self.score(b.1);
-                sa.partial_cmp(&sb)
-                    .expect("finite scores")
-                    .then(
-                        a.1.submitted_at
-                            .partial_cmp(&b.1.submitted_at)
-                            .expect("finite times"),
-                    )
+                sa.partial_cmp(&sb).expect("finite scores").then(
+                    a.1.submitted_at
+                        .partial_cmp(&b.1.submitted_at)
+                        .expect("finite times"),
+                )
             })
             .map(|(i, _)| i)
             .expect("non-empty");

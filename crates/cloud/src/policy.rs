@@ -4,7 +4,7 @@
 
 use crate::device::CloudDevice;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use std::fmt;
 
 /// A cloud scheduling policy.
@@ -191,18 +191,13 @@ pub fn place_job(
             // Exploration: least-busy device in the lower fidelity half.
             // Fine-tune: least-busy device within 5 % of the fleet's best
             // fidelity (the paper's "the high-fidelity device").
-            let explore_dev = least_busy_among(devices, now, |d| {
-                d.fidelity() <= median_fidelity(devices)
-            })
-            .unwrap_or_else(|| least_busy(devices, now));
-            let max_fidelity = devices
-                .iter()
-                .map(|d| d.fidelity())
-                .fold(0.0_f64, f64::max);
-            let finetune_dev = least_busy_among(devices, now, |d| {
-                d.fidelity() >= 0.95 * max_fidelity
-            })
-            .unwrap_or_else(|| least_busy(devices, now));
+            let explore_dev =
+                least_busy_among(devices, now, |d| d.fidelity() <= median_fidelity(devices))
+                    .unwrap_or_else(|| least_busy(devices, now));
+            let max_fidelity = devices.iter().map(|d| d.fidelity()).fold(0.0_f64, f64::max);
+            let finetune_dev =
+                least_busy_among(devices, now, |d| d.fidelity() >= 0.95 * max_fidelity)
+                    .unwrap_or_else(|| least_busy(devices, now));
             let kept = 1.0 - QONCORD_TERMINATION_SAVINGS;
             let total_after_triage = total_circuits as f64 * kept;
             let explore = (total_after_triage * QONCORD_EXPLORATION_FRACTION).round() as u64;
@@ -381,7 +376,10 @@ mod tests {
                 hits_loaded += 1;
             }
         }
-        assert!(hits_loaded < 20, "overloaded device still chosen {hits_loaded} times");
+        assert!(
+            hits_loaded < 20,
+            "overloaded device still chosen {hits_loaded} times"
+        );
     }
 
     #[test]

@@ -83,7 +83,12 @@ impl SimulationResult {
 /// # Panics
 ///
 /// Panics if `jobs` or `devices` is empty.
-pub fn simulate(policy: Policy, jobs: &[JobSpec], devices: &[CloudDevice], seed: u64) -> SimulationResult {
+pub fn simulate(
+    policy: Policy,
+    jobs: &[JobSpec],
+    devices: &[CloudDevice],
+    seed: u64,
+) -> SimulationResult {
     assert!(!jobs.is_empty(), "no jobs to simulate");
     assert!(!devices.is_empty(), "no devices to simulate");
     let mut devices: Vec<CloudDevice> = devices.to_vec();
@@ -144,14 +149,13 @@ pub fn simulate(policy: Policy, jobs: &[JobSpec], devices: &[CloudDevice], seed:
                             continue;
                         }
                         let share = p.circuits as f64 / placed_total as f64;
-                        let batch_circuits =
-                            (circuits_per_batch as f64 * scale * share).max(0.0);
+                        let batch_circuits = (circuits_per_batch as f64 * scale * share).max(0.0);
                         if batch_circuits < 0.5 {
                             continue;
                         }
                         let n = batch_circuits.round() as u64;
-                        let dur = devices[p.device]
-                            .scaled_duration(n as f64 * job.seconds_per_circuit);
+                        let dur =
+                            devices[p.device].scaled_duration(n as f64 * job.seconds_per_circuit);
                         let start = devices[p.device].schedule(batch_ready, dur);
                         devices[p.device].record_circuits(n);
                         batch_end = batch_end.max(start + dur);
@@ -237,7 +241,11 @@ mod tests {
         let q = run(Policy::Qoncord, 0.5);
         let bf = run(Policy::BestFidelity, 0.5);
         let q_fid = q.mean_relative_fidelity(0.9);
-        for other in [Policy::LeastBusy, Policy::LoadWeighted, Policy::FidelityWeighted] {
+        for other in [
+            Policy::LeastBusy,
+            Policy::LoadWeighted,
+            Policy::FidelityWeighted,
+        ] {
             let o_fid = run(other, 0.5).mean_relative_fidelity(0.9);
             assert!(
                 q_fid > o_fid,
@@ -290,7 +298,12 @@ mod tests {
     #[test]
     fn turnaround_positive() {
         let jobs = small_workload(0.5);
-        let r = simulate(Policy::LeastBusy, &jobs, &hypothetical_fleet(10, 0.3, 0.9), 7);
+        let r = simulate(
+            Policy::LeastBusy,
+            &jobs,
+            &hypothetical_fleet(10, 0.3, 0.9),
+            7,
+        );
         assert!(r.mean_turnaround(&jobs) > 0.0);
     }
 }

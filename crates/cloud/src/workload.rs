@@ -5,7 +5,7 @@
 
 use crate::job::{JobKind, JobSpec};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Parameters of the pseudo-workload generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,8 +105,7 @@ mod tests {
                 ..WorkloadConfig::default()
             };
             let jobs = generate_workload(&cfg);
-            let observed =
-                jobs.iter().filter(|j| j.is_vqa).count() as f64 / jobs.len() as f64;
+            let observed = jobs.iter().filter(|j| j.is_vqa).count() as f64 / jobs.len() as f64;
             assert!(
                 (observed - ratio).abs() < 0.05,
                 "ratio {ratio}: observed {observed}"

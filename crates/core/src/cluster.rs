@@ -63,7 +63,10 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| {
-                    (v - a.1).abs().partial_cmp(&(v - b.1).abs()).expect("finite")
+                    (v - a.1)
+                        .abs()
+                        .partial_cmp(&(v - b.1).abs())
+                        .expect("finite")
                 })
                 .map(|(c, _)| c)
                 .expect("k >= 1");
@@ -131,8 +134,7 @@ pub fn select_restarts(values: &[f64], policy: SelectionPolicy) -> Vec<usize> {
     match policy {
         SelectionPolicy::All => (0..values.len()).collect(),
         SelectionPolicy::TopK(k) => {
-            let mut indexed: Vec<(usize, f64)> =
-                values.iter().copied().enumerate().collect();
+            let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
             indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
             indexed.into_iter().take(k.max(1)).map(|(i, _)| i).collect()
         }
@@ -141,8 +143,7 @@ pub fn select_restarts(values: &[f64], policy: SelectionPolicy) -> Vec<usize> {
                 return (0..values.len()).collect();
             }
             let clustering = kmeans_1d(values, 2, 50);
-            let mean_abs =
-                values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64;
+            let mean_abs = values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64;
             let spread = values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
                 - values.iter().fold(f64::INFINITY, |a, &b| a.min(b));
             let separation = (clustering.centroids[0] - clustering.centroids[1]).abs();

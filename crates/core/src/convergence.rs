@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn reset_clears_history() {
         let mut c = ConvergenceChecker::new(ConvergenceConfig::relaxed());
-        feed(&mut c, &vec![(-1.0, 1.0); 10]);
+        feed(&mut c, &[(-1.0, 1.0); 10]);
         c.reset();
         assert!(c.is_empty());
         assert_eq!(c.status(), ConvergenceStatus::Continue);

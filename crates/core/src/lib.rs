@@ -54,8 +54,8 @@ pub mod timeline;
 pub use cluster::{kmeans_1d, select_restarts, Clustering, SelectionPolicy};
 pub use convergence::{ConvergenceChecker, ConvergenceConfig, ConvergenceStatus};
 pub use executor::{build_lanes, DeviceLane, EvaluatorFactory, QaoaFactory, VqeFactory};
-pub use timeline::{estimate_timeline, QueueModel, TimelineEstimate};
 pub use scheduler::{
     run_single_device, DeviceUsage, PhaseTrace, QoncordConfig, QoncordReport, QoncordScheduler,
     RestartReport, ScheduleError,
 };
+pub use timeline::{estimate_timeline, QueueModel, TimelineEstimate};

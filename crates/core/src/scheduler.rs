@@ -242,7 +242,11 @@ impl QoncordScheduler {
         let multi_device = lanes.len() > 1;
         let mut reports: Vec<RestartReport> = Vec::with_capacity(n_restarts);
         for (index, initial) in initials.iter().enumerate() {
-            let checker_cfg = if multi_device { cfg.relaxed } else { cfg.strict };
+            let checker_cfg = if multi_device {
+                cfg.relaxed
+            } else {
+                cfg.strict
+            };
             let max_iters = if multi_device {
                 cfg.exploration_max_iterations
             } else {
@@ -255,11 +259,8 @@ impl QoncordScheduler {
                 max_iters,
                 cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
             );
-            let exploration_expectation = phase
-                .1
-                .trace
-                .final_expectation()
-                .unwrap_or(f64::INFINITY);
+            let exploration_expectation =
+                phase.1.trace.final_expectation().unwrap_or(f64::INFINITY);
             reports.push(RestartReport {
                 index,
                 initial_params: initial.clone(),
@@ -273,10 +274,8 @@ impl QoncordScheduler {
 
         // ---- Phase 2: triage (not all restarts are equal) ----
         if multi_device {
-            let intermediates: Vec<f64> = reports
-                .iter()
-                .map(|r| r.exploration_expectation)
-                .collect();
+            let intermediates: Vec<f64> =
+                reports.iter().map(|r| r.exploration_expectation).collect();
             let keep = select_restarts(&intermediates, cfg.selection);
             for (i, report) in reports.iter_mut().enumerate() {
                 report.survived = keep.contains(&i);
@@ -470,7 +469,7 @@ mod tests {
         for r in &report.restarts {
             if r.survived {
                 assert!(
-                    r.phases.len() >= 1,
+                    !r.phases.is_empty(),
                     "survivor must have at least the exploration phase"
                 );
                 if r.phases.len() > 1 {

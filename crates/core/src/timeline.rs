@@ -4,8 +4,8 @@
 //! 17.4×).
 
 use crate::scheduler::QoncordReport;
-use qoncord_device::calibration::Calibration;
 use qoncord_circuit::transpile::CircuitStats;
+use qoncord_device::calibration::Calibration;
 use std::collections::HashMap;
 
 /// Queue-wait model: seconds of waiting added to every circuit execution on
@@ -85,8 +85,7 @@ pub fn estimate_timeline(
     shots: u64,
     queue: &QueueModel,
 ) -> TimelineEstimate {
-    let by_name: HashMap<&str, &Calibration> =
-        calibrations.iter().map(|c| (c.name(), c)).collect();
+    let by_name: HashMap<&str, &Calibration> = calibrations.iter().map(|c| (c.name(), c)).collect();
     let mut per_device = Vec::with_capacity(report.devices.len());
     let mut busy = 0.0;
     let mut wait = 0.0;
@@ -135,8 +134,9 @@ mod tests {
     }
 
     fn stats() -> CircuitStats {
-        let backend =
-            qoncord_device::noise_model::SimulatedBackend::from_calibration(catalog::ibmq_kolkata());
+        let backend = qoncord_device::noise_model::SimulatedBackend::from_calibration(
+            catalog::ibmq_kolkata(),
+        );
         factory().make(backend, 0).circuit_stats()
     }
 
@@ -188,7 +188,9 @@ mod tests {
             seed: 3,
             ..QoncordConfig::default()
         };
-        let q = QoncordScheduler::new(cfg).run(&cals, &factory(), 3).unwrap();
+        let q = QoncordScheduler::new(cfg)
+            .run(&cals, &factory(), 3)
+            .unwrap();
         let q_time = estimate_timeline(&q, &cals, &s, 1000, &queue);
         assert!(
             speedup(&hf_time, &q_time) > 1.0,

@@ -108,12 +108,7 @@ impl CalibrationTracker {
         }
         let n = self.recent.len() as f64;
         let mean = self.recent.iter().sum::<f64>() / n;
-        let var = self
-            .recent
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1.0);
+        let var = self.recent.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
         let se = (self.baseline_var / self.baseline_n as f64 + var / n).sqrt();
         if se == 0.0 {
             // Both samples are constant: drift iff means differ at all.
@@ -139,12 +134,7 @@ impl CalibrationTracker {
         if adopt_recent && self.recent.len() >= 2 {
             let n = self.recent.len() as f64;
             let mean = self.recent.iter().sum::<f64>() / n;
-            let var = self
-                .recent
-                .iter()
-                .map(|x| (x - mean).powi(2))
-                .sum::<f64>()
-                / (n - 1.0);
+            let var = self.recent.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
             self.baseline_mean = mean;
             self.baseline_var = var;
             self.baseline_n = self.recent.len();
@@ -177,7 +167,10 @@ mod tests {
             t.record(0.55);
         }
         assert!(t.has_drifted());
-        assert!(t.z_score().unwrap() < 0.0, "degradation is a negative shift");
+        assert!(
+            t.z_score().unwrap() < 0.0,
+            "degradation is a negative shift"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl MitigationStack {
 
     /// Combined gate-error scale (product over the stack).
     pub fn gate_error_scale(&self) -> f64 {
-        self.techniques.iter().map(|t| t.gate_error_scale()).product()
+        self.techniques
+            .iter()
+            .map(|t| t.gate_error_scale())
+            .product()
     }
 
     /// Combined readout-error scale.
@@ -187,7 +190,10 @@ mod tests {
     #[test]
     fn zne_reduces_error_57_to_70_percent() {
         let scale = Mitigation::ZeroNoiseExtrapolation.gate_error_scale();
-        assert!((0.30..=0.43).contains(&scale), "1-scale in paper's 57-70 % band");
+        assert!(
+            (0.30..=0.43).contains(&scale),
+            "1-scale in paper's 57-70 % band"
+        );
         assert!((Mitigation::ZeroNoiseExtrapolation.latency_multiplier() - 3.0).abs() < 1e-12);
     }
 

@@ -149,7 +149,10 @@ impl DensityMatrix {
     /// Panics if the qubits coincide or are out of range.
     pub fn apply_2q(&mut self, u: &Mat4, q0: usize, q1: usize) {
         assert!(q0 != q1, "two-qubit gate needs distinct qubits");
-        assert!(q0 < self.n_qubits && q1 < self.n_qubits, "qubit out of range");
+        assert!(
+            q0 < self.n_qubits && q1 < self.n_qubits,
+            "qubit out of range"
+        );
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let dim = self.dim;
@@ -340,7 +343,10 @@ impl DensityMatrix {
     /// `[0, 1]`.
     pub fn apply_depolarizing_2q(&mut self, p: f64, q0: usize, q1: usize) {
         assert!(q0 != q1, "two-qubit channel needs distinct qubits");
-        assert!(q0 < self.n_qubits && q1 < self.n_qubits, "qubit out of range");
+        assert!(
+            q0 < self.n_qubits && q1 < self.n_qubits,
+            "qubit out of range"
+        );
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         if p == 0.0 {
             return;
@@ -367,8 +373,7 @@ impl DensityMatrix {
                 for (ri, &rr) in ridx.iter().enumerate() {
                     for (ci, &cc) in cidx.iter().enumerate() {
                         let v = self.data[rr * dim + cc].scale(keep);
-                        self.data[rr * dim + cc] =
-                            if ri == ci { v + mixed } else { v };
+                        self.data[rr * dim + cc] = if ri == ci { v + mixed } else { v };
                     }
                 }
             }

@@ -3,7 +3,7 @@
 //! sampling, and readout-error application.
 
 use crate::noise::ReadoutError;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// A probability distribution over the `2^n` computational basis states of an
@@ -146,11 +146,7 @@ impl ProbDist {
     /// Expectation of a diagonal observable given by a closure over the
     /// basis-state index.
     pub fn expectation_fn(&self, f: impl Fn(usize) -> f64) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p * f(i))
-            .sum()
+        self.probs.iter().enumerate().map(|(i, p)| p * f(i)).sum()
     }
 
     /// Applies per-qubit readout confusion matrices and returns the corrupted

@@ -355,7 +355,12 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..self.rows {
             for c in 0..self.cols {
-                write!(f, "{}{}", self[(r, c)], if c + 1 < self.cols { " " } else { "" })?;
+                write!(
+                    f,
+                    "{}{}",
+                    self[(r, c)],
+                    if c + 1 < self.cols { " " } else { "" }
+                )?;
             }
             writeln!(f)?;
         }
@@ -376,11 +381,7 @@ mod tests {
     }
 
     fn pauli_y() -> Matrix {
-        Matrix::from_rows(
-            2,
-            2,
-            &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO],
-        )
+        Matrix::from_rows(2, 2, &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO])
     }
 
     #[test]

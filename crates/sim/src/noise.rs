@@ -212,7 +212,10 @@ impl NoiseChannel {
     pub fn pauli_channel(px: f64, py: f64, pz: f64) -> Self {
         assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "negative probability");
         let total = px + py + pz;
-        assert!(total <= 1.0 + 1e-12, "pauli probabilities sum to {total} > 1");
+        assert!(
+            total <= 1.0 + 1e-12,
+            "pauli probabilities sum to {total} > 1"
+        );
         let paulis = pauli_matrices_1q();
         NoiseChannel::MixedUnitary {
             ops: vec![
@@ -237,7 +240,9 @@ impl NoiseChannel {
                 C64::cis(epsilon / 2.0),
             ],
         );
-        NoiseChannel::MixedUnitary { ops: vec![(1.0, u)] }
+        NoiseChannel::MixedUnitary {
+            ops: vec![(1.0, u)],
+        }
     }
 
     /// Identity (no-op) channel on `n_qubits` qubits.
@@ -319,7 +324,10 @@ impl ReadoutError {
     ///
     /// Panics if `p` is outside `[0, 0.5]`.
     pub fn symmetric(p: f64) -> Self {
-        assert!((0.0..=0.5).contains(&p), "flip probability must be in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&p),
+            "flip probability must be in [0, 0.5]"
+        );
         ReadoutError {
             p_flip_0to1: p,
             p_flip_1to0: p,
@@ -358,11 +366,7 @@ fn pauli_matrices_1q() -> [Matrix; 4] {
     [
         Matrix::identity(2),
         Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
-        Matrix::from_rows(
-            2,
-            2,
-            &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO],
-        ),
+        Matrix::from_rows(2, 2, &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO]),
         Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
     ]
 }
@@ -382,7 +386,9 @@ mod tests {
     #[test]
     fn damping_channels_are_cptp() {
         for g in [0.0, 0.1, 0.9, 1.0] {
-            assert!(NoiseChannel::amplitude_damping(g).validate_cptp(1e-9).is_ok());
+            assert!(NoiseChannel::amplitude_damping(g)
+                .validate_cptp(1e-9)
+                .is_ok());
             assert!(NoiseChannel::phase_damping(g).validate_cptp(1e-9).is_ok());
         }
     }

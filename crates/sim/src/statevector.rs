@@ -106,7 +106,10 @@ impl StateVector {
     /// Panics if the qubits coincide or are out of range.
     pub fn apply_2q(&mut self, u: &Mat4, q0: usize, q1: usize) {
         assert!(q0 != q1, "two-qubit gate needs distinct qubits");
-        assert!(q0 < self.n_qubits && q1 < self.n_qubits, "qubit out of range");
+        assert!(
+            q0 < self.n_qubits && q1 < self.n_qubits,
+            "qubit out of range"
+        );
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let len = self.amps.len();
@@ -126,8 +129,7 @@ impl StateVector {
                 self.amps[i11],
             ];
             for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                self.amps[idx] =
-                    u[r][0] * a[0] + u[r][1] * a[1] + u[r][2] * a[2] + u[r][3] * a[3];
+                self.amps[idx] = u[r][0] * a[0] + u[r][1] * a[1] + u[r][2] * a[2] + u[r][3] * a[3];
             }
         }
     }
@@ -286,7 +288,8 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         sv.apply_1q(&gates::x(), 1); // |10> = index 2
         sv.apply_2q(&gates::cx(), 1, 0); // control q1, target q0
-        // now |11> = index 3
+
+        // Now |11> = index 3.
         assert!((sv.probabilities()[3] - 1.0).abs() < 1e-12);
     }
 

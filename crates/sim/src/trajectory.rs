@@ -17,7 +17,7 @@ use crate::linalg::Matrix;
 use crate::math::C64;
 use crate::noise::NoiseChannel;
 use crate::statevector::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples one branch of `channel` and applies it to `sv` on `qubits`.
 ///

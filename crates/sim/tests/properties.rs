@@ -9,10 +9,7 @@ use qoncord_sim::statevector::StateVector;
 
 /// A short random gate program on `n` qubits encoded as opcodes.
 fn program(n: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
-    proptest::collection::vec(
-        (0u8..6, 0..n, 0..n, -3.2..3.2f64),
-        1..20,
-    )
+    proptest::collection::vec((0u8..6, 0..n, 0..n, -3.2..3.2f64), 1..20)
 }
 
 fn apply_program_sv(sv: &mut StateVector, ops: &[(u8, usize, usize, f64)]) {

@@ -24,10 +24,7 @@ use std::f64::consts::FRAC_PI_2;
 /// # Panics
 ///
 /// Panics if `params.len() != evaluator.n_params()`.
-pub fn parameter_shift_gradient(
-    evaluator: &mut dyn CostEvaluator,
-    params: &[f64],
-) -> Vec<f64> {
+pub fn parameter_shift_gradient(evaluator: &mut dyn CostEvaluator, params: &[f64]) -> Vec<f64> {
     assert_eq!(
         params.len(),
         evaluator.n_params(),
@@ -188,7 +185,10 @@ mod tests {
         // QAOA shares γ across all edges, so only the general rule applies.
         let mut eval = qaoa_evaluator(true);
         let fd = finite_difference_gradient(&mut eval, &[0.7, 0.3], 1e-5);
-        assert!(gradient_norm(&fd) > 0.1, "QAOA gradient must be non-trivial");
+        assert!(
+            gradient_norm(&fd) > 0.1,
+            "QAOA gradient must be non-trivial"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! a 14-qubit instance).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// An undirected weighted graph.
 ///
@@ -33,7 +33,10 @@ impl Graph {
         for &(a, b, _) in edges {
             assert!(a < n_nodes && b < n_nodes, "edge ({a},{b}) out of range");
             assert_ne!(a, b, "self-loop on node {a}");
-            assert!(seen.insert((a.min(b), a.max(b))), "duplicate edge ({a},{b})");
+            assert!(
+                seen.insert((a.min(b), a.max(b))),
+                "duplicate edge ({a},{b})"
+            );
         }
         Graph {
             n_nodes,

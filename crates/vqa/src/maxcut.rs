@@ -65,7 +65,9 @@ impl MaxCut {
 
     /// The full energy diagonal over all `2^n` basis states.
     pub fn energy_diagonal(&self) -> Vec<f64> {
-        (0..1usize << self.n_qubits()).map(|z| self.energy(z)).collect()
+        (0..1usize << self.n_qubits())
+            .map(|z| self.energy(z))
+            .collect()
     }
 
     /// Expectation of the cost Hamiltonian under an outcome distribution.

@@ -7,7 +7,7 @@
 //! ablations.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// One optimizer iteration's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,16 +122,8 @@ impl Optimizer for Spsa {
         let delta: Vec<f64> = (0..params.len())
             .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
             .collect();
-        let plus: Vec<f64> = params
-            .iter()
-            .zip(&delta)
-            .map(|(p, d)| p + ck * d)
-            .collect();
-        let minus: Vec<f64> = params
-            .iter()
-            .zip(&delta)
-            .map(|(p, d)| p - ck * d)
-            .collect();
+        let plus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + ck * d).collect();
+        let minus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - ck * d).collect();
         let y_plus = objective(&plus);
         let y_minus = objective(&minus);
         let g_scale = (y_plus - y_minus) / (2.0 * ck);

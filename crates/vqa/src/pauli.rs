@@ -26,11 +26,9 @@ impl Pauli {
         match self {
             Pauli::I => Matrix::identity(2),
             Pauli::X => Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
-            Pauli::Y => Matrix::from_rows(
-                2,
-                2,
-                &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO],
-            ),
+            Pauli::Y => {
+                Matrix::from_rows(2, 2, &[C64::ZERO, C64::new(0.0, -1.0), C64::I, C64::ZERO])
+            }
             Pauli::Z => Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
         }
     }
@@ -155,9 +153,10 @@ impl PauliString {
     /// position the operators are equal or at least one is identity.
     pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
         assert_eq!(self.n_qubits(), other.n_qubits());
-        self.ops.iter().zip(&other.ops).all(|(a, b)| {
-            *a == Pauli::I || *b == Pauli::I || a == b
-        })
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .all(|(a, b)| *a == Pauli::I || *b == Pauli::I || a == b)
     }
 
     /// The basis-change circuit mapping this string's eigenbasis to the
@@ -448,13 +447,8 @@ mod tests {
 
     #[test]
     fn grouping_covers_all_non_identity_terms() {
-        let h = PauliSum::from_terms(&[
-            (1.0, "ZZII"),
-            (0.5, "IZZI"),
-            (0.3, "XXII"),
-            (0.2, "IIII"),
-        ])
-        .unwrap();
+        let h = PauliSum::from_terms(&[(1.0, "ZZII"), (0.5, "IZZI"), (0.3, "XXII"), (0.2, "IIII")])
+            .unwrap();
         let groups = h.qubit_wise_commuting_groups();
         let covered: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(covered, 3, "identity term excluded");

@@ -56,7 +56,10 @@ pub fn n_params(layers: usize) -> usize {
 ///
 /// Panics if the length is odd.
 pub fn split_params(params: &[f64]) -> (&[f64], &[f64]) {
-    assert!(params.len() % 2 == 0, "QAOA parameter count must be even");
+    assert!(
+        params.len().is_multiple_of(2),
+        "QAOA parameter count must be even"
+    );
     params.split_at(params.len() / 2)
 }
 
@@ -103,7 +106,10 @@ mod tests {
                 best = best.min(problem.expectation(&d));
             }
         }
-        assert!(best < -1.9, "1-layer QAOA should near the optimum, got {best}");
+        assert!(
+            best < -1.9,
+            "1-layer QAOA should near the optimum, got {best}"
+        );
     }
 
     #[test]

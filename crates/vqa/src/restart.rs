@@ -5,7 +5,7 @@
 use crate::evaluator::CostEvaluator;
 use crate::optimizer::Optimizer;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
 
 /// One optimizer iteration's record within a trace.
@@ -215,7 +215,14 @@ mod tests {
         let mut eval = triangle_evaluator();
         let mut spsa = Spsa::default();
         let mut rng = StdRng::seed_from_u64(4);
-        let result = train(&mut eval, &mut spsa, vec![0.2, 0.2], 10, &mut rng, |_, _| false);
+        let result = train(
+            &mut eval,
+            &mut spsa,
+            vec![0.2, 0.2],
+            10,
+            &mut rng,
+            |_, _| false,
+        );
         // SPSA: 2 evals per step + 1 trace eval per iteration = 3 × 10.
         assert_eq!(result.executions, 30);
         assert_eq!(result.trace.len(), 10);
@@ -226,7 +233,14 @@ mod tests {
         let mut eval = triangle_evaluator();
         let mut spsa = Spsa::default();
         let mut rng = StdRng::seed_from_u64(4);
-        let result = train(&mut eval, &mut spsa, vec![0.2, 0.2], 100, &mut rng, |i, _| i >= 4);
+        let result = train(
+            &mut eval,
+            &mut spsa,
+            vec![0.2, 0.2],
+            100,
+            &mut rng,
+            |i, _| i >= 4,
+        );
         assert_eq!(result.trace.len(), 5);
     }
 

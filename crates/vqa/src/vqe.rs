@@ -116,7 +116,11 @@ mod tests {
     fn measurement_grouping_is_small() {
         // Z-only terms all commute qubit-wise; the 4 exchange terms split.
         let groups = h2_hamiltonian().qubit_wise_commuting_groups();
-        assert!(groups.len() <= 5, "expected ≤5 QWC groups, got {}", groups.len());
+        assert!(
+            groups.len() <= 5,
+            "expected ≤5 QWC groups, got {}",
+            groups.len()
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use qoncord::cloud::workload::{generate_workload, WorkloadConfig};
 use qoncord::device::catalog;
 use qoncord::device::fidelity::p_correct;
 use qoncord::device::noise_model::SimulatedBackend;
-use qoncord::vqa::qaoa;
 use qoncord::vqa::graph::Graph;
+use qoncord::vqa::qaoa;
 
 #[test]
 fn queue_sim_frontier_shape_holds() {
@@ -67,7 +67,11 @@ fn p_correct_ranking_predicts_noisy_fidelity_ranking() {
     let params = vec![0.7, 0.35];
     let mut estimates = Vec::new();
     let mut measured = Vec::new();
-    for cal in [catalog::ibmq_toronto(), catalog::ibmq_kolkata(), catalog::ibm_hanoi()] {
+    for cal in [
+        catalog::ibmq_toronto(),
+        catalog::ibmq_kolkata(),
+        catalog::ibm_hanoi(),
+    ] {
         let transpiled = transpile(&circuit, cal.coupling());
         estimates.push(p_correct(&cal, &transpiled.stats));
         let ideal = SimulatedBackend::ideal(cal.clone()).run(&transpiled, &params, 0);

@@ -46,10 +46,12 @@ fn noisy_vqe_is_worse_than_ideal_but_bounded() {
         let mut eval = VqeEvaluator::new(&h, &ansatz, backend, 0);
         let mut spsa = Spsa::default();
         let mut rng = StdRng::seed_from_u64(5);
-        train(&mut eval, &mut spsa, vec![0.0; 3], 40, &mut rng, |_, _| false)
-            .trace
-            .best_expectation()
-            .unwrap()
+        train(&mut eval, &mut spsa, vec![0.0; 3], 40, &mut rng, |_, _| {
+            false
+        })
+        .trace
+        .best_expectation()
+        .unwrap()
     };
     let ideal = run(SimulatedBackend::ideal(catalog::ibmq_kolkata()));
     let noisy = run(SimulatedBackend::from_calibration(catalog::ibmq_toronto()));

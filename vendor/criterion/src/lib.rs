@@ -1,0 +1,239 @@
+//! Offline shim of the [`criterion`](https://docs.rs/criterion/0.5) API
+//! surface used by the Qoncord workspace.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! minimal wall-clock harness behind the same macros and types:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Bencher::iter_batched`], and
+//! [`BatchSize`]. Each benchmark runs a calibrated number of iterations
+//! per sample and reports mean / median / min nanoseconds per iteration.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget a single benchmark aims to spend measuring.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim accepts and ignores
+    /// them so generated `main`s stay source-compatible.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_benchmark(&id.into(), sample_size, measurement_time, f);
+        self
+    }
+
+    /// Upstream finalizes reports here; the shim has nothing to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup cost. The shim re-runs setup for
+/// every routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibrate: time one iteration, then size samples so the whole
+    // benchmark fits the measurement budget.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples_ns[0];
+    let median = samples_ns[sample_size / 2];
+    let mean = samples_ns.iter().sum::<f64>() / sample_size as f64;
+    println!(
+        "{id:<50} mean {:>12} median {:>12} min {:>12} ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        fmt_ns(min),
+        sample_size,
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,99 @@
+//! Test-execution plumbing: configuration, the deterministic RNG, and
+//! failure context.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only the knobs the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default. Can be overridden per run with
+        // PROPTEST_CASES, mirroring upstream's env knob.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Seeded from a hash of the test name so every run replays the same
+/// cases: a failure reproduces by just re-running the test.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name → stable, collision-tolerant seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Prints which case was running if a property panics, since the shim
+/// does not shrink failures.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    cases: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32, cases: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            cases,
+            passed: false,
+        }
+    }
+
+    /// Disarms the guard: the case finished without panicking.
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property `{}` failed on case {}/{} \
+                 (deterministic seed; re-run to reproduce)",
+                self.name,
+                self.case + 1,
+                self.cases
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Concrete generators. The only one the workspace uses is [`StdRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256++.
+///
+/// Small, fast, and statistically strong for simulation workloads. Not
+/// cryptographically secure (neither use nor claim here requires it).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    #[cfg(test)]
+    pub(crate) fn next_u64_pub(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro's state must not be all-zero; remix a constant in.
+        if s == [0; 4] {
+            let mut sm = 0x9E37_79B9_7F4A_7C15u64;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
