@@ -33,6 +33,7 @@ fn main() {
                 fmt(ratio, 1),
                 fmt(throughput, 2),
                 fmt(fidelity, 3),
+                fmt(result.mean_utilization(), 2),
                 fmt(result.load_imbalance(), 2),
             ]);
             csv.push(vec![
@@ -40,6 +41,7 @@ fn main() {
                 fmt(ratio, 1),
                 fmt(throughput, 4),
                 fmt(fidelity, 4),
+                fmt(result.mean_utilization(), 4),
             ]);
         }
     }
@@ -52,6 +54,7 @@ fn main() {
             "VQA ratio",
             "throughput (circ/s)",
             "rel. fidelity",
+            "mean util",
             "load CV",
         ],
         &rows,
@@ -59,7 +62,13 @@ fn main() {
     println!("\n(Qoncord rows should dominate: fidelity near Best Fidelity at throughput near Least Busy)");
     write_csv(
         "fig12_queue_sim.csv",
-        &["policy", "vqa_ratio", "throughput", "relative_fidelity"],
+        &[
+            "policy",
+            "vqa_ratio",
+            "throughput",
+            "relative_fidelity",
+            "mean_utilization",
+        ],
         &csv,
     );
 }

@@ -143,13 +143,19 @@ impl FairShareQueue {
     /// releases its in-flight slot. The caller should
     /// [`record_usage`](Self::record_usage) once the job actually runs.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
-        if self.pending.is_empty() {
-            return None;
-        }
+        self.pop_where(|_| true)
+    }
+
+    /// Dequeues the lowest-score request among those matching `pred` (FIFO
+    /// on ties), releasing its in-flight slot. Requests failing `pred` stay
+    /// queued. This is how a dispatcher serving several devices from one
+    /// queue grants work for a specific device.
+    pub fn pop_where(&mut self, pred: impl Fn(&QueuedRequest) -> bool) -> Option<QueuedRequest> {
         let best = self
             .pending
             .iter()
             .enumerate()
+            .filter(|(_, r)| pred(r))
             .min_by(|a, b| {
                 let sa = self.score(a.1);
                 let sb = self.score(b.1);
@@ -159,13 +165,34 @@ impl FairShareQueue {
                         .expect("finite times"),
                 )
             })
-            .map(|(i, _)| i)
-            .expect("non-empty");
+            .map(|(i, _)| i)?;
         let request = self.pending.remove(best);
         if let Some(u) = self.usage.get_mut(&request.user) {
             u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
         }
         Some(request)
+    }
+
+    /// Removes every request matching `pred` without running it, releasing
+    /// the in-flight slots. Returns the cancelled requests in queue order —
+    /// this is the release path when restart triage kills work whose
+    /// reservations are still queued.
+    pub fn cancel_where(&mut self, pred: impl Fn(&QueuedRequest) -> bool) -> Vec<QueuedRequest> {
+        let mut cancelled = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if pred(&self.pending[i]) {
+                cancelled.push(self.pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for request in &cancelled {
+            if let Some(u) = self.usage.get_mut(&request.user) {
+                u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
+            }
+        }
+        cancelled
     }
 
     /// Drains the queue in fair-share order.
@@ -264,5 +291,34 @@ mod tests {
     #[should_panic(expected = "decay factor")]
     fn bad_decay_rejected() {
         FairShareQueue::new().decay_usage(1.5);
+    }
+
+    #[test]
+    fn pop_where_skips_non_matching_requests() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 500.0);
+        q.push(req(0, "heavy", 1.0, 0.0));
+        q.push(req(1, "light", 1.0, 1.0));
+        // Even though "light" has the better score, a filter on id 0 must
+        // return the heavy user's request and leave the other queued.
+        assert_eq!(q.pop_where(|r| r.id == 0).unwrap().id, 0);
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_where(|r| r.id == 7).is_none());
+        assert_eq!(q.len(), 1, "non-matching pop leaves the queue intact");
+    }
+
+    #[test]
+    fn cancel_where_releases_in_flight_slots() {
+        let mut q = FairShareQueue::new();
+        for i in 0..4 {
+            q.push(req(i, "vqa", 10.0, i as f64));
+        }
+        q.push(req(9, "other", 10.0, 9.0));
+        assert_eq!(q.usage("vqa").jobs_in_flight, 4);
+        let cancelled = q.cancel_where(|r| r.user == "vqa" && r.id >= 2);
+        assert_eq!(cancelled.iter().map(|r| r.id).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(q.usage("vqa").jobs_in_flight, 2);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel_where(|r| r.id == 100).is_empty());
     }
 }

@@ -56,6 +56,17 @@ impl SimulationResult {
         total / self.outcomes.len() as f64
     }
 
+    /// Per-device utilization: busy seconds divided by the workload
+    /// makespan, in device order. All zeros when nothing ran.
+    pub fn utilization(&self) -> Vec<f64> {
+        utilization(&self.device_busy, self.makespan)
+    }
+
+    /// Mean utilization across the fleet.
+    pub fn mean_utilization(&self) -> f64 {
+        mean_utilization(&self.device_busy, self.makespan)
+    }
+
     /// Coefficient of variation of device busy time (load balance; lower is
     /// more balanced).
     pub fn load_imbalance(&self) -> f64 {
@@ -72,6 +83,24 @@ impl SimulationResult {
             / n;
         var.sqrt() / mean
     }
+}
+
+/// Per-device utilization of a fleet: each device's busy seconds over the
+/// shared makespan. All zeros when the makespan is zero. Shared by the
+/// queue simulator and the multi-tenant orchestrator.
+pub fn utilization(device_busy: &[f64], makespan: f64) -> Vec<f64> {
+    if makespan <= 0.0 {
+        return vec![0.0; device_busy.len()];
+    }
+    device_busy.iter().map(|b| b / makespan).collect()
+}
+
+/// Mean of [`utilization`] across the fleet (0 for an empty fleet).
+pub fn mean_utilization(device_busy: &[f64], makespan: f64) -> f64 {
+    if device_busy.is_empty() {
+        return 0.0;
+    }
+    utilization(device_busy, makespan).iter().sum::<f64>() / device_busy.len() as f64
 }
 
 /// Simulates `jobs` (sorted by arrival) on `devices` under `policy`.
@@ -285,6 +314,18 @@ mod tests {
         let bf = run(Policy::BestFidelity, 0.5);
         let lb = run(Policy::LeastBusy, 0.5);
         assert!(bf.load_imbalance() > lb.load_imbalance());
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let r = run(Policy::LeastBusy, 0.5);
+        let u = r.utilization();
+        assert_eq!(u.len(), r.device_busy.len());
+        for (ui, busy) in u.iter().zip(&r.device_busy) {
+            assert!((0.0..=1.0 + 1e-9).contains(ui));
+            assert!((ui * r.makespan - busy).abs() < 1e-9);
+        }
+        assert!(r.mean_utilization() > 0.0);
     }
 
     #[test]

@@ -40,6 +40,40 @@ proptest! {
         }
     }
 
+    /// Accounting invariants of the simulator itself: useful work never
+    /// exceeds executed work, no device is busy past the makespan, and
+    /// throughput is a finite non-negative rate.
+    #[test]
+    fn simulation_accounting_invariants(
+        vqa_ratio in 0.0..1.0f64,
+        n_jobs in 1..80usize,
+        n_devices in 2..8usize,
+        seed in 0..1000u64,
+    ) {
+        let jobs = generate_workload(&WorkloadConfig {
+            n_jobs,
+            vqa_ratio,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        let fleet = hypothetical_fleet(n_devices, 0.3, 0.9);
+        for policy in Policy::all() {
+            let r = simulate(policy, &jobs, &fleet, seed);
+            prop_assert!(r.useful_circuits <= r.executed_circuits,
+                "{policy}: useful {} > executed {}", r.useful_circuits, r.executed_circuits);
+            for (i, busy) in r.device_busy.iter().enumerate() {
+                prop_assert!(*busy <= r.makespan + 1e-6,
+                    "{policy}: device {i} busy {busy} exceeds makespan {}", r.makespan);
+            }
+            for u in r.utilization() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "{policy}: utilization {u}");
+            }
+            let throughput = r.throughput();
+            prop_assert!(throughput.is_finite(), "{policy}: throughput {throughput}");
+            prop_assert!(throughput >= 0.0, "{policy}: throughput {throughput}");
+        }
+    }
+
     /// Device schedules never overlap: committed busy time within any
     /// window cannot exceed the window length.
     #[test]

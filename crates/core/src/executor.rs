@@ -107,6 +107,26 @@ pub enum RejectionReason {
     },
 }
 
+impl fmt::Display for RejectionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectionReason::TooSmall => write!(f, "too few qubits for the workload"),
+            RejectionReason::BelowMinFidelity { estimate } => {
+                write!(
+                    f,
+                    "P_correct {estimate:.4} below the minimum fidelity threshold"
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for RejectedDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.device, self.reason)
+    }
+}
+
 /// Builds the device ladder for a workload: instantiates an evaluator per
 /// viable device, estimates P_correct from that device's own transpiled
 /// footprint, filters by `min_fidelity`, and sorts ascending by fidelity
@@ -213,6 +233,23 @@ mod tests {
         std::panic::set_hook(prev);
         assert_eq!(lanes.len(), 1);
         assert_eq!(rejected[0].reason, RejectionReason::TooSmall);
+    }
+
+    #[test]
+    fn rejection_reasons_display_cleanly() {
+        let small = RejectedDevice {
+            device: "tiny".into(),
+            reason: RejectionReason::TooSmall,
+        };
+        assert_eq!(small.to_string(), "tiny: too few qubits for the workload");
+        let noisy = RejectedDevice {
+            device: "fuzzy".into(),
+            reason: RejectionReason::BelowMinFidelity { estimate: 0.0421 },
+        };
+        assert_eq!(
+            noisy.to_string(),
+            "fuzzy: P_correct 0.0421 below the minimum fidelity threshold"
+        );
     }
 
     #[test]

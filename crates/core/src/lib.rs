@@ -20,6 +20,8 @@
 //!   checker with relaxed/strict tiers (Sec. IV-F/IV-G).
 //! - [`cluster`] — 1-D k-means triage of intermediate values (Sec. IV-H).
 //! - [`executor`] — device lanes: evaluator + P_correct per device.
+//! - [`phase`] — resumable per-batch training phases, the unit a
+//!   multi-tenant orchestrator schedules as device reservations.
 //! - [`scheduler`] — the ladder orchestration (Fig. 7) and single-device
 //!   baselines.
 //!
@@ -48,14 +50,16 @@
 pub mod cluster;
 pub mod convergence;
 pub mod executor;
+pub mod phase;
 pub mod scheduler;
 pub mod timeline;
 
 pub use cluster::{kmeans_1d, select_restarts, Clustering, SelectionPolicy};
 pub use convergence::{ConvergenceChecker, ConvergenceConfig, ConvergenceStatus};
 pub use executor::{build_lanes, DeviceLane, EvaluatorFactory, QaoaFactory, VqeFactory};
+pub use phase::{BatchOutcome, PhaseRunner};
 pub use scheduler::{
-    run_single_device, DeviceUsage, PhaseTrace, QoncordConfig, QoncordReport, QoncordScheduler,
-    RestartReport, ScheduleError,
+    exploration_seed, finetune_seed, run_single_device, DeviceUsage, PhaseTrace, QoncordConfig,
+    QoncordReport, QoncordScheduler, RestartReport, ScheduleError,
 };
 pub use timeline::{estimate_timeline, QueueModel, TimelineEstimate};

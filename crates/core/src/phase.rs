@@ -1,0 +1,221 @@
+//! Resumable per-batch training phases.
+//!
+//! [`crate::scheduler::QoncordScheduler`] runs each phase as a closed loop,
+//! but a multi-tenant orchestrator cannot: when many jobs share a device
+//! fleet, every optimizer batch is a separate device reservation and phases
+//! from different tenants interleave. [`PhaseRunner`] carries the full state
+//! of one phase — parameters, SPSA schedule, RNG, trace, and convergence
+//! checker — between batches, so a phase can be suspended after any batch
+//! and resumed later with identical results to the closed loop (see
+//! `run_phase` in the scheduler, which is built on it).
+
+use crate::convergence::{ConvergenceChecker, ConvergenceConfig, ConvergenceStatus};
+use crate::scheduler::PhaseTrace;
+use qoncord_vqa::evaluator::CostEvaluator;
+use qoncord_vqa::optimizer::Spsa;
+use qoncord_vqa::restart::{train_step, IterationRecord, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one batch (one optimizer iteration) of a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// The iteration's record (expectation + entropy at the new iterate).
+    pub record: IterationRecord,
+    /// Circuit executions the batch consumed on the device.
+    pub executions: u64,
+    /// Whether the phase is finished (saturated or out of budget).
+    pub finished: bool,
+}
+
+/// One training phase driven batch-by-batch.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_core::convergence::ConvergenceConfig;
+/// use qoncord_core::phase::PhaseRunner;
+/// use qoncord_device::catalog;
+/// use qoncord_device::noise_model::SimulatedBackend;
+/// use qoncord_vqa::evaluator::QaoaEvaluator;
+/// use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+///
+/// let problem = MaxCut::new(Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0)]));
+/// let backend = SimulatedBackend::ideal(catalog::ibmq_kolkata());
+/// let mut eval = QaoaEvaluator::new(&problem, 1, backend, 0);
+/// let mut runner = PhaseRunner::new(vec![0.3, 0.2], ConvergenceConfig::relaxed(), 5, 7);
+/// while !runner.is_finished() {
+///     runner.step(&mut eval);
+/// }
+/// let (params, phase) = runner.finish("ibmq_kolkata".to_owned());
+/// assert_eq!(params.len(), 2);
+/// assert_eq!(phase.trace.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseRunner {
+    checker: ConvergenceChecker,
+    optimizer: Spsa,
+    rng: StdRng,
+    params: Vec<f64>,
+    trace: Trace,
+    executions: u64,
+    max_iterations: usize,
+    saturated: bool,
+}
+
+impl PhaseRunner {
+    /// Creates a runner starting from `initial`, converging per `checker`,
+    /// with at most `max_iterations` batches; `seed` drives the SPSA
+    /// perturbations (same seeding as the closed-loop scheduler).
+    pub fn new(
+        initial: Vec<f64>,
+        checker: ConvergenceConfig,
+        max_iterations: usize,
+        seed: u64,
+    ) -> Self {
+        PhaseRunner {
+            checker: ConvergenceChecker::new(checker),
+            optimizer: Spsa::default(),
+            rng: StdRng::seed_from_u64(seed),
+            params: initial,
+            trace: Trace::default(),
+            executions: 0,
+            max_iterations,
+            saturated: false,
+        }
+    }
+
+    /// Whether the phase is over: the checker saturated or the iteration
+    /// budget is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.saturated || self.trace.len() >= self.max_iterations
+    }
+
+    /// Runs one batch (one optimizer iteration) on `evaluator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase [`is_finished`](Self::is_finished).
+    pub fn step(&mut self, evaluator: &mut dyn CostEvaluator) -> BatchOutcome {
+        assert!(!self.is_finished(), "phase already finished");
+        let before = evaluator.executions();
+        let iteration = self.trace.len();
+        let record = train_step(
+            evaluator,
+            &mut self.optimizer,
+            &mut self.params,
+            iteration,
+            &mut self.rng,
+        );
+        self.trace.records.push(record);
+        if self.checker.observe_record(&record) == ConvergenceStatus::Saturated {
+            self.saturated = true;
+        }
+        let executions = evaluator.executions() - before;
+        self.executions += executions;
+        BatchOutcome {
+            record,
+            executions,
+            finished: self.is_finished(),
+        }
+    }
+
+    /// The current iterate.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Circuit executions consumed by the phase so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Consumes the runner into the final parameters and the phase trace
+    /// attributed to `device`.
+    pub fn finish(self, device: String) -> (Vec<f64>, PhaseTrace) {
+        (
+            self.params,
+            PhaseTrace {
+                device,
+                trace: self.trace,
+                executions: self.executions,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoncord_device::catalog;
+    use qoncord_device::noise_model::SimulatedBackend;
+    use qoncord_vqa::evaluator::QaoaEvaluator;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn evaluator() -> QaoaEvaluator {
+        let problem = MaxCut::new(Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]));
+        QaoaEvaluator::new(
+            &problem,
+            1,
+            SimulatedBackend::ideal(catalog::ibmq_kolkata()),
+            0,
+        )
+    }
+
+    #[test]
+    fn runs_to_budget_and_counts_executions() {
+        let mut eval = evaluator();
+        let mut runner = PhaseRunner::new(vec![0.2, 0.2], ConvergenceConfig::strict(), 10, 4);
+        let mut batches = 0;
+        while !runner.is_finished() {
+            let out = runner.step(&mut eval);
+            assert_eq!(out.executions, 3, "SPSA: 2 evals + 1 trace eval");
+            batches += 1;
+        }
+        assert_eq!(batches, 10);
+        assert_eq!(runner.executions(), 30);
+        assert_eq!(runner.trace().len(), 10);
+        let (params, phase) = runner.finish("dev".to_owned());
+        assert_eq!(params.len(), 2);
+        assert_eq!(phase.executions, 30);
+        assert_eq!(phase.device, "dev");
+    }
+
+    #[test]
+    fn saturation_stops_early() {
+        // A tolerant checker saturates as soon as min_iterations is hit.
+        let cfg = ConvergenceConfig {
+            window: 2,
+            expectation_tolerance: 100.0,
+            entropy_tolerance: 100.0,
+            min_iterations: 3,
+            joint: true,
+        };
+        let mut eval = evaluator();
+        let mut runner = PhaseRunner::new(vec![0.1, 0.1], cfg, 50, 4);
+        while !runner.is_finished() {
+            runner.step(&mut eval);
+        }
+        assert_eq!(runner.trace().len(), 3);
+    }
+
+    #[test]
+    fn zero_budget_finishes_immediately() {
+        let runner = PhaseRunner::new(vec![0.1], ConvergenceConfig::relaxed(), 0, 0);
+        assert!(runner.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "phase already finished")]
+    fn stepping_a_finished_phase_panics() {
+        let mut eval = evaluator();
+        let mut runner = PhaseRunner::new(vec![0.1, 0.1], ConvergenceConfig::relaxed(), 0, 0);
+        runner.step(&mut eval);
+    }
+}

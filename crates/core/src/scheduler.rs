@@ -3,14 +3,12 @@
 //! and progressive fine-tuning with relaxed/strict convergence tiers.
 
 use crate::cluster::{select_restarts, SelectionPolicy};
-use crate::convergence::{ConvergenceChecker, ConvergenceConfig, ConvergenceStatus};
+use crate::convergence::ConvergenceConfig;
 use crate::executor::{build_lanes, DeviceLane, EvaluatorFactory, RejectedDevice};
+use crate::phase::PhaseRunner;
 use qoncord_device::calibration::Calibration;
 use qoncord_device::fidelity::MIN_FIDELITY_THRESHOLD;
-use qoncord_vqa::optimizer::Spsa;
-use qoncord_vqa::restart::{random_initial_points, train, Trace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qoncord_vqa::restart::{random_initial_points, Trace};
 use std::fmt;
 
 /// Error returned when scheduling cannot proceed.
@@ -33,7 +31,7 @@ impl fmt::Display for ScheduleError {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{}: {:?}", r.device, r.reason)?;
+                    write!(f, "{r}")?;
                 }
                 write!(f, ")")
             }
@@ -81,6 +79,19 @@ impl Default for QoncordConfig {
             seed: 0xC0C0,
         }
     }
+}
+
+/// RNG seed of a restart's exploration phase, derived from the scheduler's
+/// base seed. Shared with the multi-tenant orchestrator so batch-wise
+/// execution reproduces the closed loop exactly.
+pub fn exploration_seed(base: u64, restart: usize) -> u64 {
+    base ^ (restart as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// RNG seed of a restart's fine-tuning phase on ladder rung `lane`, derived
+/// from the scheduler's base seed (see [`exploration_seed`]).
+pub fn finetune_seed(base: u64, restart: usize, lane: usize) -> u64 {
+    base ^ ((restart as u64) << 8) ^ (lane as u64)
 }
 
 /// One phase (device visit) of a restart's execution.
@@ -257,7 +268,7 @@ impl QoncordScheduler {
                 initial.clone(),
                 checker_cfg,
                 max_iters,
-                cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+                exploration_seed(cfg.seed, index),
             );
             let exploration_expectation =
                 phase.1.trace.final_expectation().unwrap_or(f64::INFINITY);
@@ -308,7 +319,7 @@ impl QoncordScheduler {
                     report.final_params.clone(),
                     checker_cfg,
                     cfg.finetune_max_iterations,
-                    cfg.seed ^ ((report.index as u64) << 8) ^ (lane_idx as u64),
+                    finetune_seed(cfg.seed, report.index, lane_idx),
                 );
                 report.final_params = phase.0;
                 if let Some(e) = phase.1.trace.final_expectation() {
@@ -337,6 +348,9 @@ impl QoncordScheduler {
 
 /// Runs one training phase on a lane until the convergence checker fires or
 /// the iteration budget is exhausted. Returns `(final_params, phase_trace)`.
+///
+/// This is the closed-loop driver over [`PhaseRunner`]; the multi-tenant
+/// orchestrator drives the same runner batch-by-batch.
 fn run_phase(
     lane: &mut DeviceLane,
     params: Vec<f64>,
@@ -344,26 +358,11 @@ fn run_phase(
     max_iterations: usize,
     seed: u64,
 ) -> (Vec<f64>, PhaseTrace) {
-    let mut checker = ConvergenceChecker::new(checker_cfg);
-    let mut spsa = Spsa::default();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let result = train(
-        lane.evaluator.as_mut(),
-        &mut spsa,
-        params,
-        max_iterations,
-        &mut rng,
-        |_, record| checker.observe_record(record) == ConvergenceStatus::Saturated,
-    );
-    let device = lane.calibration.name().to_owned();
-    (
-        result.params,
-        PhaseTrace {
-            device,
-            trace: result.trace,
-            executions: result.executions,
-        },
-    )
+    let mut runner = PhaseRunner::new(params, checker_cfg, max_iterations, seed);
+    while !runner.is_finished() {
+        runner.step(lane.evaluator.as_mut());
+    }
+    runner.finish(lane.calibration.name().to_owned())
 }
 
 /// Baseline: runs every restart end-to-end on one device with the strict
@@ -394,7 +393,7 @@ pub fn run_single_device(
             initial.clone(),
             ConvergenceConfig::strict(),
             max_iterations,
-            seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+            exploration_seed(seed, index),
         );
         let final_expectation = phase.1.trace.final_expectation().unwrap_or(f64::INFINITY);
         reports.push(RestartReport {
@@ -503,6 +502,35 @@ mod tests {
             .unwrap_err();
         let ScheduleError::NoViableDevice { rejected } = err;
         assert_eq!(rejected.len(), 1);
+    }
+
+    #[test]
+    fn schedule_error_display_is_human_readable() {
+        let cfg = QoncordConfig {
+            min_fidelity: 0.999,
+            ..small_config()
+        };
+        let err = QoncordScheduler::new(cfg)
+            .run(&[catalog::ibmq_toronto()], &factory(), 1)
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("ibmq_toronto: P_correct"),
+            "expected readable reason, got: {text}"
+        );
+        assert!(
+            !text.contains("BelowMinFidelity"),
+            "Debug formatting leaked into Display: {text}"
+        );
+    }
+
+    #[test]
+    fn phase_seeds_are_stable() {
+        // The orchestrator reproduces the scheduler's runs from these seeds;
+        // changing the derivation silently breaks cross-checking tests.
+        assert_eq!(exploration_seed(0xC0C0, 0), 0xC0C0);
+        assert_eq!(exploration_seed(7, 3), 7 ^ 3u64.wrapping_mul(0x9E37_79B9));
+        assert_eq!(finetune_seed(7, 3, 1), 7 ^ (3 << 8) ^ 1);
     }
 
     #[test]

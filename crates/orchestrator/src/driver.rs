@@ -1,0 +1,574 @@
+//! The per-job state machine: replays the closed-loop Qoncord scheduler
+//! (`qoncord_core::scheduler::QoncordScheduler::run`) one device batch at a
+//! time, so the engine can interleave many tenants on a shared fleet.
+//!
+//! Every classical decision — triage, entropy-gate skips, lane transitions —
+//! happens between batches and costs zero virtual time; every quantum batch
+//! (one SPSA iteration, or one entropy-gate probe evaluation) is surfaced to
+//! the engine as a device reservation. Because the per-lane evaluator call
+//! order is identical to the closed loop's, a job's numeric results match
+//! the sequential scheduler bit for bit.
+
+use qoncord_core::executor::{build_lanes, DeviceLane, EvaluatorFactory, RejectedDevice};
+use qoncord_core::phase::PhaseRunner;
+use qoncord_core::scheduler::{
+    exploration_seed, finetune_seed, DeviceUsage, QoncordConfig, QoncordReport, RestartReport,
+};
+use qoncord_core::select_restarts;
+use qoncord_device::calibration::Calibration;
+use qoncord_vqa::restart::random_initial_points;
+use std::collections::HashMap;
+
+/// SPSA consumes two perturbation evaluations plus one trace evaluation per
+/// iteration; used only for a-priori reservation-size estimates.
+pub(crate) const EXECUTIONS_PER_BATCH_ESTIMATE: f64 = 3.0;
+
+/// A fleet device handed to a job's ladder construction.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectedDevice {
+    /// Index of the device in the engine's fleet.
+    pub fleet_index: usize,
+    /// Its calibration.
+    pub calibration: Calibration,
+    /// Its relative speed.
+    pub speed: f64,
+}
+
+/// One rung of the job's ladder bound to a fleet device.
+struct DriverLane {
+    lane: DeviceLane,
+    fleet_index: usize,
+    /// Wall-clock seconds one circuit execution occupies on the device.
+    secs_per_execution: f64,
+}
+
+enum Stage {
+    /// The entropy-gate probe evaluation before a fine-tuning phase.
+    Probe,
+    /// The fine-tuning phase itself (boxed: a runner carries the full
+    /// optimizer/trace state and dwarfs the probe variant).
+    Train(Box<PhaseRunner>),
+}
+
+enum DriverState {
+    Exploring {
+        restart: usize,
+        runner: PhaseRunner,
+    },
+    FineTuning {
+        lane: usize,
+        pos: usize,
+        stage: Stage,
+    },
+    Done,
+}
+
+/// What one granted batch did, as the engine sees it.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchResult {
+    /// Fleet device the batch ran on.
+    pub fleet_index: usize,
+    /// Device-seconds the batch occupies.
+    pub duration: f64,
+    /// Circuit executions consumed.
+    pub executions: u64,
+    /// `Some(pruned restart indices)` when restart triage ran inside this
+    /// batch's classical epilogue (empty vector = triage kept everything).
+    pub pruned: Option<Vec<usize>>,
+    /// Whether the job has no further batches.
+    pub finished: bool,
+}
+
+pub(crate) struct JobDriver {
+    cfg: QoncordConfig,
+    lanes: Vec<DriverLane>,
+    reports: Vec<RestartReport>,
+    initials: Vec<Vec<f64>>,
+    rejected: Vec<RejectedDevice>,
+    ground_energy: f64,
+    multi_device: bool,
+    state: DriverState,
+}
+
+impl JobDriver {
+    /// Builds the job's device ladder over `selected` fleet devices and
+    /// positions the state machine at the first exploration batch.
+    ///
+    /// Returns the rejected-device list if no device survives the fidelity
+    /// filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_restarts` is zero or an iteration budget is zero (a
+    /// zero-budget phase has no batch to reserve).
+    pub(crate) fn new(
+        cfg: QoncordConfig,
+        n_restarts: usize,
+        factory: &dyn EvaluatorFactory,
+        selected: &[SelectedDevice],
+        shots: u64,
+    ) -> Result<Self, Vec<RejectedDevice>> {
+        assert!(n_restarts > 0, "need at least one restart");
+        assert!(
+            cfg.exploration_max_iterations > 0,
+            "exploration budget must be positive"
+        );
+        let cals: Vec<Calibration> = selected.iter().map(|s| s.calibration.clone()).collect();
+        let (lanes, rejected) = build_lanes(&cals, factory, cfg.min_fidelity, cfg.seed);
+        if lanes.is_empty() {
+            return Err(rejected);
+        }
+        let by_name: HashMap<&str, (usize, f64)> = selected
+            .iter()
+            .map(|s| (s.calibration.name(), (s.fleet_index, s.speed)))
+            .collect();
+        let lanes: Vec<DriverLane> = lanes
+            .into_iter()
+            .map(|lane| {
+                let stats = lane.evaluator.circuit_stats();
+                let (fleet_index, speed) = by_name[lane.calibration.name()];
+                let secs_per_execution = lane.calibration.execution_time_s(&stats, shots) / speed;
+                DriverLane {
+                    lane,
+                    fleet_index,
+                    secs_per_execution,
+                }
+            })
+            .collect();
+        let multi_device = lanes.len() > 1;
+        assert!(
+            !multi_device || cfg.finetune_max_iterations > 0,
+            "fine-tuning budget must be positive on a multi-device ladder"
+        );
+        let n_params = lanes[0].lane.evaluator.n_params();
+        let ground_energy = lanes[0].lane.evaluator.ground_energy();
+        let initials = random_initial_points(n_params, n_restarts, cfg.seed);
+        let mut driver = JobDriver {
+            cfg,
+            lanes,
+            reports: Vec::with_capacity(n_restarts),
+            initials,
+            rejected,
+            ground_energy,
+            multi_device,
+            state: DriverState::Done,
+        };
+        driver.state = DriverState::Exploring {
+            restart: 0,
+            runner: driver.exploration_phase(0),
+        };
+        Ok(driver)
+    }
+
+    pub(crate) fn is_multi_device(&self) -> bool {
+        self.multi_device
+    }
+
+    /// Fleet device and estimated seconds of one restart's full fine-tuning
+    /// block on the final rung (the size of a provisional reservation).
+    pub(crate) fn finetune_hold_estimate(&self) -> (usize, f64) {
+        let last = self.lanes.last().expect("non-empty ladder");
+        let secs = self.cfg.finetune_max_iterations as f64
+            * EXECUTIONS_PER_BATCH_ESTIMATE
+            * last.secs_per_execution;
+        (last.fleet_index, secs)
+    }
+
+    /// Fleet device the next batch needs, or `None` when the job is done.
+    pub(crate) fn current_device(&self) -> Option<usize> {
+        match &self.state {
+            DriverState::Exploring { .. } => Some(self.lanes[0].fleet_index),
+            DriverState::FineTuning { lane, .. } => Some(self.lanes[*lane].fleet_index),
+            DriverState::Done => None,
+        }
+    }
+
+    /// Estimated device-seconds of the next batch (for fair-share scoring).
+    pub(crate) fn estimated_next_seconds(&self) -> f64 {
+        match &self.state {
+            DriverState::Exploring { .. } => {
+                EXECUTIONS_PER_BATCH_ESTIMATE * self.lanes[0].secs_per_execution
+            }
+            DriverState::FineTuning {
+                lane,
+                stage: Stage::Probe,
+                ..
+            } => self.lanes[*lane].secs_per_execution,
+            DriverState::FineTuning {
+                lane,
+                stage: Stage::Train(_),
+                ..
+            } => EXECUTIONS_PER_BATCH_ESTIMATE * self.lanes[*lane].secs_per_execution,
+            DriverState::Done => 0.0,
+        }
+    }
+
+    /// Runs the pending batch and advances through any classical epilogue
+    /// (phase completion, triage, lane transitions) to the next batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already done.
+    pub(crate) fn execute_batch(&mut self) -> BatchResult {
+        let state = std::mem::replace(&mut self.state, DriverState::Done);
+        match state {
+            DriverState::Done => panic!("job has no pending batch"),
+            DriverState::Exploring {
+                restart,
+                mut runner,
+            } => {
+                let out = runner.step(self.lanes[0].lane.evaluator.as_mut());
+                let mut pruned = None;
+                if out.finished {
+                    let device = self.lanes[0].lane.calibration.name().to_owned();
+                    let (params, phase) = runner.finish(device);
+                    let exploration_expectation =
+                        phase.trace.final_expectation().unwrap_or(f64::INFINITY);
+                    self.reports.push(RestartReport {
+                        index: restart,
+                        initial_params: self.initials[restart].clone(),
+                        final_params: params,
+                        phases: vec![phase],
+                        survived: true,
+                        exploration_expectation,
+                        final_expectation: exploration_expectation,
+                    });
+                    if restart + 1 < self.initials.len() {
+                        self.state = DriverState::Exploring {
+                            restart: restart + 1,
+                            runner: self.exploration_phase(restart + 1),
+                        };
+                    } else if self.multi_device {
+                        pruned = Some(self.triage());
+                        self.advance_finetune(1, None);
+                    } else {
+                        self.state = DriverState::Done;
+                    }
+                } else {
+                    self.state = DriverState::Exploring { restart, runner };
+                }
+                self.batch_result(0, out.executions, pruned)
+            }
+            DriverState::FineTuning {
+                lane,
+                pos,
+                stage: Stage::Probe,
+            } => {
+                // Entropy gate (Sec. IV-F): one probe evaluation at the
+                // current iterate on the candidate rung; skip the rung if it
+                // looks noisier than where the restart left off.
+                let evaluator = self.lanes[lane].lane.evaluator.as_mut();
+                let before = evaluator.executions();
+                let probe = evaluator.evaluate(&self.reports[pos].final_params);
+                let executions = evaluator.executions() - before;
+                let prev_entropy = self.reports[pos]
+                    .phases
+                    .last()
+                    .and_then(|p| p.trace.records.last())
+                    .map(|r| r.entropy);
+                let skip = matches!(prev_entropy, Some(prev)
+                    if probe.entropy > prev + self.cfg.entropy_gate_slack);
+                if skip {
+                    self.advance_finetune(lane, Some(pos));
+                } else {
+                    let runner =
+                        self.finetune_phase(lane, pos, self.reports[pos].final_params.clone());
+                    self.state = DriverState::FineTuning {
+                        lane,
+                        pos,
+                        stage: Stage::Train(Box::new(runner)),
+                    };
+                }
+                self.batch_result(lane, executions, None)
+            }
+            DriverState::FineTuning {
+                lane,
+                pos,
+                stage: Stage::Train(mut runner),
+            } => {
+                let out = runner.step(self.lanes[lane].lane.evaluator.as_mut());
+                if out.finished {
+                    let device = self.lanes[lane].lane.calibration.name().to_owned();
+                    let (params, phase) = (*runner).finish(device);
+                    let report = &mut self.reports[pos];
+                    report.final_params = params;
+                    if let Some(e) = phase.trace.final_expectation() {
+                        report.final_expectation = e;
+                    }
+                    report.phases.push(phase);
+                    self.advance_finetune(lane, Some(pos));
+                } else {
+                    self.state = DriverState::FineTuning {
+                        lane,
+                        pos,
+                        stage: Stage::Train(runner),
+                    };
+                }
+                self.batch_result(lane, out.executions, None)
+            }
+        }
+    }
+
+    /// Consumes the driver into the same report the closed-loop scheduler
+    /// produces.
+    pub(crate) fn into_report(self) -> QoncordReport {
+        QoncordReport {
+            restarts: self.reports,
+            devices: self
+                .lanes
+                .iter()
+                .map(|l| DeviceUsage {
+                    device: l.lane.calibration.name().to_owned(),
+                    p_correct: l.lane.p_correct,
+                    executions: l.lane.evaluator.executions(),
+                })
+                .collect(),
+            rejected: self.rejected,
+            ground_energy: self.ground_energy,
+        }
+    }
+
+    fn batch_result(
+        &self,
+        lane: usize,
+        executions: u64,
+        pruned: Option<Vec<usize>>,
+    ) -> BatchResult {
+        BatchResult {
+            fleet_index: self.lanes[lane].fleet_index,
+            duration: executions as f64 * self.lanes[lane].secs_per_execution,
+            executions,
+            pruned,
+            finished: matches!(self.state, DriverState::Done),
+        }
+    }
+
+    fn exploration_phase(&self, restart: usize) -> PhaseRunner {
+        // Same tiering as the closed loop: single-device jobs get the strict
+        // checker and the combined budget.
+        let checker = if self.multi_device {
+            self.cfg.relaxed
+        } else {
+            self.cfg.strict
+        };
+        let budget = if self.multi_device {
+            self.cfg.exploration_max_iterations
+        } else {
+            self.cfg.exploration_max_iterations + self.cfg.finetune_max_iterations
+        };
+        PhaseRunner::new(
+            self.initials[restart].clone(),
+            checker,
+            budget,
+            exploration_seed(self.cfg.seed, restart),
+        )
+    }
+
+    fn finetune_phase(&self, lane: usize, restart: usize, params: Vec<f64>) -> PhaseRunner {
+        let checker = if lane == self.lanes.len() - 1 {
+            self.cfg.strict
+        } else {
+            self.cfg.relaxed
+        };
+        PhaseRunner::new(
+            params,
+            checker,
+            self.cfg.finetune_max_iterations,
+            finetune_seed(self.cfg.seed, restart, lane),
+        )
+    }
+
+    fn triage(&mut self) -> Vec<usize> {
+        let intermediates: Vec<f64> = self
+            .reports
+            .iter()
+            .map(|r| r.exploration_expectation)
+            .collect();
+        let keep = select_restarts(&intermediates, self.cfg.selection);
+        let mut pruned = Vec::new();
+        for (i, report) in self.reports.iter_mut().enumerate() {
+            report.survived = keep.contains(&i);
+            if !report.survived {
+                pruned.push(i);
+            }
+        }
+        pruned
+    }
+
+    /// Moves the cursor to the next survivor on `lane` after `after` (or the
+    /// first survivor when `after` is `None`), rolling over to the next lane
+    /// and to `Done` past the last one.
+    fn advance_finetune(&mut self, mut lane: usize, after: Option<usize>) {
+        let mut from = after.map_or(0, |i| i + 1);
+        loop {
+            if lane >= self.lanes.len() {
+                self.state = DriverState::Done;
+                return;
+            }
+            if let Some(pos) = (from..self.reports.len()).find(|&i| self.reports[i].survived) {
+                let is_final = lane == self.lanes.len() - 1;
+                self.state = if self.cfg.entropy_gate && !is_final {
+                    DriverState::FineTuning {
+                        lane,
+                        pos,
+                        stage: Stage::Probe,
+                    }
+                } else {
+                    let runner =
+                        self.finetune_phase(lane, pos, self.reports[pos].final_params.clone());
+                    DriverState::FineTuning {
+                        lane,
+                        pos,
+                        stage: Stage::Train(Box::new(runner)),
+                    }
+                };
+                return;
+            }
+            lane += 1;
+            from = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoncord_core::executor::QaoaFactory;
+    use qoncord_core::scheduler::QoncordScheduler;
+    use qoncord_device::catalog;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn factory() -> QaoaFactory {
+        QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        }
+    }
+
+    fn small_config() -> QoncordConfig {
+        QoncordConfig {
+            exploration_max_iterations: 10,
+            finetune_max_iterations: 12,
+            seed: 23,
+            ..QoncordConfig::default()
+        }
+    }
+
+    fn selected() -> Vec<SelectedDevice> {
+        vec![
+            SelectedDevice {
+                fleet_index: 4,
+                calibration: catalog::ibmq_toronto(),
+                speed: 1.0,
+            },
+            SelectedDevice {
+                fleet_index: 9,
+                calibration: catalog::ibmq_kolkata(),
+                speed: 1.0,
+            },
+        ]
+    }
+
+    /// Drives the job to completion in one go and returns its report.
+    fn drain(mut driver: JobDriver) -> QoncordReport {
+        let mut batches = 0;
+        while driver.current_device().is_some() {
+            let result = driver.execute_batch();
+            assert!(result.duration > 0.0);
+            assert!(result.executions > 0);
+            batches += 1;
+            assert!(batches < 100_000, "runaway driver");
+        }
+        driver.into_report()
+    }
+
+    #[test]
+    fn batchwise_execution_matches_closed_loop_scheduler() {
+        let cfg = small_config();
+        let devices = [catalog::ibmq_toronto(), catalog::ibmq_kolkata()];
+        let closed = QoncordScheduler::new(cfg.clone())
+            .run(&devices, &factory(), 5)
+            .unwrap();
+
+        let driver = JobDriver::new(cfg, 5, &factory(), &selected(), 1000).unwrap();
+        assert!(driver.is_multi_device());
+        let batched = drain(driver);
+
+        assert_eq!(batched.restarts.len(), closed.restarts.len());
+        for (a, b) in batched.restarts.iter().zip(&closed.restarts) {
+            assert_eq!(a.survived, b.survived);
+            assert_eq!(a.exploration_expectation, b.exploration_expectation);
+            assert_eq!(a.final_expectation, b.final_expectation);
+            assert_eq!(a.final_params, b.final_params);
+        }
+        assert_eq!(batched.best_expectation(), closed.best_expectation());
+        assert_eq!(batched.total_executions(), closed.total_executions());
+        for (a, b) in batched.devices.iter().zip(&closed.devices) {
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.executions, b.executions);
+        }
+    }
+
+    #[test]
+    fn single_device_job_matches_closed_loop() {
+        let cfg = small_config();
+        let closed = QoncordScheduler::new(cfg.clone())
+            .run(&[catalog::ibmq_kolkata()], &factory(), 3)
+            .unwrap();
+        let one = vec![SelectedDevice {
+            fleet_index: 0,
+            calibration: catalog::ibmq_kolkata(),
+            speed: 1.0,
+        }];
+        let driver = JobDriver::new(cfg, 3, &factory(), &one, 1000).unwrap();
+        assert!(!driver.is_multi_device());
+        let batched = drain(driver);
+        assert_eq!(batched.best_expectation(), closed.best_expectation());
+        assert_eq!(batched.total_executions(), closed.total_executions());
+    }
+
+    #[test]
+    fn triage_surfaces_pruned_restarts_once() {
+        let cfg = QoncordConfig {
+            selection: qoncord_core::SelectionPolicy::TopK(2),
+            ..small_config()
+        };
+        let mut driver = JobDriver::new(cfg, 6, &factory(), &selected(), 1000).unwrap();
+        let mut triages = 0;
+        let mut pruned_total = 0;
+        while driver.current_device().is_some() {
+            if let Some(pruned) = driver.execute_batch().pruned {
+                triages += 1;
+                pruned_total = pruned.len();
+            }
+        }
+        assert_eq!(triages, 1, "triage runs exactly once");
+        assert_eq!(pruned_total, 4, "TopK(2) of 6 restarts prunes 4");
+    }
+
+    #[test]
+    fn all_devices_rejected_reports_reasons() {
+        let cfg = QoncordConfig {
+            min_fidelity: 0.999,
+            ..small_config()
+        };
+        let err = match JobDriver::new(cfg, 2, &factory(), &selected(), 1000) {
+            Err(rejected) => rejected,
+            Ok(_) => panic!("expected every device to be rejected"),
+        };
+        assert_eq!(err.len(), 2);
+    }
+
+    #[test]
+    fn speed_scales_batch_duration() {
+        let cfg = small_config();
+        let mut fast = selected();
+        fast[0].speed = 2.0;
+        let mut a = JobDriver::new(cfg.clone(), 2, &factory(), &selected(), 1000).unwrap();
+        let mut b = JobDriver::new(cfg, 2, &factory(), &fast, 1000).unwrap();
+        let da = a.execute_batch().duration;
+        let db = b.execute_batch().duration;
+        assert!((da / db - 2.0).abs() < 1e-9, "2x speed halves duration");
+    }
+}

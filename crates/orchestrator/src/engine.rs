@@ -1,0 +1,482 @@
+//! The multi-tenant orchestration engine: a discrete-event loop over a
+//! virtual clock in which every optimizer batch of every tenant's real
+//! training run is a device reservation on the shared fleet.
+//!
+//! Dispatch reuses the cloud layer directly: ladder selection per arriving
+//! job goes through [`qoncord_cloud::policy::place_job`] over live
+//! [`CloudDevice`] load views, and contention at each device is resolved by
+//! a fleet-wide [`FairShareQueue`] (heavy tenants sink, light tenants
+//! float; priorities enter as usage credit). When restart triage prunes a
+//! restart mid-flight, its provisional fine-tuning reservation is released
+//! for the other tenants.
+
+use crate::driver::{JobDriver, SelectedDevice};
+use crate::events::{Event, EventQueue};
+use crate::fleet::FleetDevice;
+use crate::job::TenantJob;
+use crate::telemetry::{
+    DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
+};
+use qoncord_cloud::device::CloudDevice;
+use qoncord_cloud::fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
+use qoncord_cloud::policy::{place_job, Policy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Tuning of the orchestration engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestratorConfig {
+    /// Ladder-selection policy per arriving job, evaluated over live device
+    /// loads: [`Policy::Qoncord`] picks an LF exploration device and an HF
+    /// fine-tuning device; [`Policy::BestFidelity`] is the HF-only
+    /// baseline; the other policies place single-device ladders.
+    pub policy: Policy,
+    /// Fair-share weights of the dispatch queue.
+    pub weights: FairShareWeights,
+    /// Shots per circuit execution, used to price batch durations.
+    pub shots: u64,
+    /// Device-seconds of fair-share usage credit granted per priority
+    /// level, so higher-priority jobs dequeue sooner.
+    pub priority_credit: f64,
+    /// Seed of the placement RNG (only randomized policies consume it).
+    pub seed: u64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            policy: Policy::Qoncord,
+            weights: FairShareWeights::default(),
+            shots: 1000,
+            priority_credit: 50.0,
+            seed: 0x09C0,
+        }
+    }
+}
+
+/// The multi-tenant orchestrator over a fixed fleet.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_core::executor::QaoaFactory;
+/// use qoncord_core::scheduler::QoncordConfig;
+/// use qoncord_orchestrator::{
+///     fleet::two_lf_one_hf_fleet, Orchestrator, OrchestratorConfig, TenantJob,
+/// };
+/// use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+///
+/// let cfg = QoncordConfig {
+///     exploration_max_iterations: 4,
+///     finetune_max_iterations: 5,
+///     ..QoncordConfig::default()
+/// };
+/// let jobs: Vec<TenantJob> = (0..2)
+///     .map(|i| {
+///         let factory = QaoaFactory {
+///             problem: MaxCut::new(Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0)])),
+///             layers: 1,
+///         };
+///         TenantJob::new(i, format!("tenant-{i}"), 0.0, Box::new(factory))
+///             .with_restarts(1)
+///             .with_config(cfg.clone())
+///     })
+///     .collect();
+/// let orchestrator = Orchestrator::new(OrchestratorConfig::default(), two_lf_one_hf_fleet());
+/// let report = orchestrator.run(&jobs);
+/// assert_eq!(report.completed(), 2);
+/// assert!(report.makespan() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    config: OrchestratorConfig,
+    fleet: Vec<FleetDevice>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over `fleet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty or device names collide (names key the
+    /// ladder-to-fleet mapping).
+    pub fn new(config: OrchestratorConfig, fleet: Vec<FleetDevice>) -> Self {
+        assert!(!fleet.is_empty(), "fleet must not be empty");
+        let mut names = HashSet::new();
+        for device in &fleet {
+            assert!(
+                names.insert(device.name().to_owned()),
+                "duplicate fleet device name {}",
+                device.name()
+            );
+        }
+        Orchestrator { config, fleet }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// The fleet.
+    pub fn fleet(&self) -> &[FleetDevice] {
+        &self.fleet
+    }
+
+    /// Runs `jobs` to completion on the virtual clock and returns the full
+    /// report (jobs in submission order).
+    pub fn run(&self, jobs: &[TenantJob]) -> OrchestratorReport {
+        let mut sim = Sim::new(&self.config, &self.fleet, jobs);
+        sim.run_loop();
+        sim.into_report()
+    }
+}
+
+/// An in-flight lease: the granted batch occupying a device.
+struct Lease {
+    job: usize,
+    /// Virtual time the batch completes (its `BatchDone` event).
+    end: f64,
+    result: crate::driver::BatchResult,
+}
+
+/// Runtime state of one fleet device.
+struct DeviceState {
+    busy: Option<Lease>,
+    /// Estimated seconds of queued-but-ungranted batch work (feeds the
+    /// placement load view).
+    pending_estimate: f64,
+    busy_seconds: f64,
+    executions: u64,
+}
+
+enum Reservation {
+    /// A granted-on-pop batch request.
+    Batch {
+        job: usize,
+        device: usize,
+        seconds: f64,
+    },
+    /// A provisional hold for a restart's future fine-tuning block; never
+    /// granted, released (or silently converted) at triage. The owning job
+    /// and restart live in `Sim::holds`.
+    Hold,
+}
+
+struct Sim<'a> {
+    config: &'a OrchestratorConfig,
+    fleet: &'a [FleetDevice],
+    jobs: &'a [TenantJob],
+    rng: StdRng,
+    queue: FairShareQueue,
+    devices: Vec<DeviceState>,
+    events: EventQueue,
+    drivers: Vec<Option<JobDriver>>,
+    telemetry: Vec<JobTelemetry>,
+    status: Vec<Option<JobStatus>>,
+    /// Per job: restart index → (reservation id, fleet device, estimated
+    /// seconds).
+    holds: Vec<HashMap<usize, (usize, usize, f64)>>,
+    reservations: HashMap<usize, Reservation>,
+    next_reservation: usize,
+    makespan: f64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(
+        config: &'a OrchestratorConfig,
+        fleet: &'a [FleetDevice],
+        jobs: &'a [TenantJob],
+    ) -> Self {
+        let mut events = EventQueue::new();
+        for (j, job) in jobs.iter().enumerate() {
+            events.push(job.arrival, Event::Arrival(j));
+        }
+        Sim {
+            config,
+            fleet,
+            jobs,
+            rng: StdRng::seed_from_u64(config.seed),
+            queue: FairShareQueue::with_weights(config.weights),
+            devices: fleet
+                .iter()
+                .map(|_| DeviceState {
+                    busy: None,
+                    pending_estimate: 0.0,
+                    busy_seconds: 0.0,
+                    executions: 0,
+                })
+                .collect(),
+            events,
+            drivers: jobs.iter().map(|_| None).collect(),
+            telemetry: jobs
+                .iter()
+                .map(|job| JobTelemetry::new(job.arrival, fleet.len()))
+                .collect(),
+            status: jobs.iter().map(|_| None).collect(),
+            holds: jobs.iter().map(|_| HashMap::new()).collect(),
+            reservations: HashMap::new(),
+            next_reservation: 0,
+            makespan: 0.0,
+        }
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((t, event)) = self.events.pop() {
+            match event {
+                Event::Arrival(job) => self.admit(job, t),
+                Event::BatchDone(device) => self.on_batch_done(device, t),
+            }
+        }
+    }
+
+    /// Live load views for the placement policy: one [`CloudDevice`] per
+    /// fleet device whose schedule carries the device's estimated backlog
+    /// (running lease + queued batch work).
+    fn placement_views(&self, now: f64) -> Vec<CloudDevice> {
+        self.fleet
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mut view = CloudDevice::new(i, d.advertised_fidelity(), d.speed());
+                let state = &self.devices[i];
+                let backlog = state.pending_estimate
+                    + state.busy.as_ref().map_or(0.0, |l| (l.end - now).max(0.0));
+                if backlog > 0.0 {
+                    view.schedule(now, backlog);
+                }
+                view
+            })
+            .collect()
+    }
+
+    fn admit(&mut self, job: usize, now: f64) {
+        let spec = &self.jobs[job];
+        let views = self.placement_views(now);
+        // The policy only steers device choice here; circuit counts are an
+        // a-priori estimate of the job's footprint.
+        let circuit_estimate = (spec.n_restarts as f64
+            * crate::driver::EXECUTIONS_PER_BATCH_ESTIMATE
+            * (spec.config.exploration_max_iterations + spec.config.finetune_max_iterations) as f64)
+            .round() as u64;
+        let placements = place_job(
+            self.config.policy,
+            &views,
+            circuit_estimate.max(1),
+            true,
+            now,
+            &mut self.rng,
+        );
+        let mut selected: Vec<SelectedDevice> = Vec::new();
+        for p in &placements {
+            if !selected.iter().any(|s| s.fleet_index == p.device) {
+                selected.push(SelectedDevice {
+                    fleet_index: p.device,
+                    calibration: self.fleet[p.device].calibration().clone(),
+                    speed: self.fleet[p.device].speed(),
+                });
+            }
+        }
+        match JobDriver::new(
+            spec.config.clone(),
+            spec.n_restarts,
+            spec.factory.as_ref(),
+            &selected,
+            self.config.shots,
+        ) {
+            Err(rejected) => {
+                self.status[job] = Some(JobStatus::Rejected { rejected });
+            }
+            Ok(driver) => {
+                if spec.priority > 0 {
+                    // Priorities enter fair-share as usage credit scoped to
+                    // the job's lifetime: granted on admission, charged back
+                    // at completion so it cannot leak onto later jobs.
+                    self.queue.record_usage(
+                        &spec.tenant,
+                        -(spec.priority as f64) * self.config.priority_credit,
+                    );
+                }
+                if driver.is_multi_device() {
+                    // Hold a provisional fine-tuning reservation per restart;
+                    // triage converts survivors and releases the rest.
+                    let (hold_device, hold_seconds) = driver.finetune_hold_estimate();
+                    for restart in 0..spec.n_restarts {
+                        let id = self.next_id();
+                        self.reservations.insert(id, Reservation::Hold);
+                        self.devices[hold_device].pending_estimate += hold_seconds;
+                        self.queue.push(QueuedRequest {
+                            id,
+                            user: spec.tenant.clone(),
+                            requested_seconds: hold_seconds,
+                            submitted_at: now,
+                        });
+                        self.holds[job].insert(restart, (id, hold_device, hold_seconds));
+                    }
+                }
+                self.drivers[job] = Some(driver);
+                self.enqueue_next_batch(job, now);
+            }
+        }
+    }
+
+    fn next_id(&mut self) -> usize {
+        let id = self.next_reservation;
+        self.next_reservation += 1;
+        id
+    }
+
+    /// Queues the job's next batch request and offers the target device a
+    /// dispatch opportunity.
+    fn enqueue_next_batch(&mut self, job: usize, now: f64) {
+        let driver = self.drivers[job].as_ref().expect("active driver");
+        let device = driver
+            .current_device()
+            .expect("finished jobs are finalized before re-enqueueing");
+        let seconds = driver.estimated_next_seconds();
+        let id = self.next_id();
+        self.reservations.insert(
+            id,
+            Reservation::Batch {
+                job,
+                device,
+                seconds,
+            },
+        );
+        self.devices[device].pending_estimate += seconds;
+        self.queue.push(QueuedRequest {
+            id,
+            user: self.jobs[job].tenant.clone(),
+            requested_seconds: seconds,
+            submitted_at: now,
+        });
+        self.try_dispatch(device, now);
+    }
+
+    /// Grants the device its fair-share-best queued batch, if it is idle.
+    fn try_dispatch(&mut self, device: usize, now: f64) {
+        if self.devices[device].busy.is_some() {
+            return;
+        }
+        let reservations = &self.reservations;
+        let Some(request) = self.queue.pop_where(|r| {
+            matches!(reservations.get(&r.id),
+                Some(Reservation::Batch { device: d, .. }) if *d == device)
+        }) else {
+            return;
+        };
+        let Some(Reservation::Batch { job, seconds, .. }) = self.reservations.remove(&request.id)
+        else {
+            unreachable!("predicate admits only batch reservations");
+        };
+        self.devices[device].pending_estimate =
+            (self.devices[device].pending_estimate - seconds).max(0.0);
+        if self.telemetry[job].first_start.is_none() {
+            self.telemetry[job].first_start = Some(now);
+        }
+        // The batch's real compute runs now; only its virtual duration is
+        // deferred to the completion event.
+        let result = self.drivers[job]
+            .as_mut()
+            .expect("granted job is active")
+            .execute_batch();
+        debug_assert_eq!(result.fleet_index, device, "driver/queue device mismatch");
+        let end = now + result.duration;
+        self.events.push(end, Event::BatchDone(device));
+        self.devices[device].busy = Some(Lease { job, end, result });
+    }
+
+    fn on_batch_done(&mut self, device: usize, now: f64) {
+        let lease = self.devices[device]
+            .busy
+            .take()
+            .expect("completion event for an idle device");
+        let job = lease.job;
+        let result = lease.result;
+        self.makespan = self.makespan.max(now);
+        self.devices[device].busy_seconds += result.duration;
+        self.devices[device].executions += result.executions;
+        let telemetry = &mut self.telemetry[job];
+        telemetry.device_seconds[device] += result.duration;
+        telemetry.executions += result.executions;
+        telemetry.cost += result.duration * self.fleet[device].cost_per_second();
+        self.queue
+            .record_usage(&self.jobs[job].tenant, result.duration);
+
+        if let Some(pruned) = &result.pruned {
+            self.resolve_holds(job, pruned);
+        }
+        if result.finished {
+            self.telemetry[job].completion = Some(now);
+            let spec = &self.jobs[job];
+            if spec.priority > 0 {
+                // Expire the job-scoped priority credit granted at admission.
+                self.queue.record_usage(
+                    &spec.tenant,
+                    spec.priority as f64 * self.config.priority_credit,
+                );
+            }
+            let report = self.drivers[job]
+                .take()
+                .expect("finished job had a driver")
+                .into_report();
+            self.status[job] = Some(JobStatus::Completed { report });
+        } else {
+            self.enqueue_next_batch(job, now);
+        }
+        self.try_dispatch(device, now);
+    }
+
+    /// Resolves every provisional hold of `job` at triage: holds of pruned
+    /// restarts are released back to the fleet (and counted); holds of
+    /// survivors are converted into the real batch requests that follow.
+    fn resolve_holds(&mut self, job: usize, pruned: &[usize]) {
+        let pruned: HashSet<usize> = pruned.iter().copied().collect();
+        let holds = std::mem::take(&mut self.holds[job]);
+        for (restart, (id, device, seconds)) in holds {
+            self.reservations.remove(&id);
+            let cancelled = self.queue.cancel_where(|r| r.id == id);
+            debug_assert_eq!(cancelled.len(), 1, "hold was queued exactly once");
+            self.devices[device].pending_estimate =
+                (self.devices[device].pending_estimate - seconds).max(0.0);
+            if pruned.contains(&restart) {
+                self.telemetry[job].released_reservations += 1;
+                self.telemetry[job].released_seconds += seconds;
+            }
+        }
+    }
+
+    fn into_report(self) -> OrchestratorReport {
+        let devices = self
+            .fleet
+            .iter()
+            .zip(&self.devices)
+            .map(|(spec, state)| DeviceTelemetry {
+                name: spec.name().to_owned(),
+                busy_seconds: state.busy_seconds,
+                executions: state.executions,
+            })
+            .collect();
+        let jobs = self
+            .jobs
+            .iter()
+            .zip(self.status)
+            .zip(self.telemetry)
+            .map(|((spec, status), telemetry)| JobRecord {
+                id: spec.id,
+                tenant: spec.tenant.clone(),
+                priority: spec.priority,
+                status: status.expect("every job is admitted and resolved"),
+                telemetry,
+            })
+            .collect();
+        OrchestratorReport {
+            jobs,
+            fleet: FleetTelemetry {
+                devices,
+                makespan: self.makespan,
+            },
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The shared device fleet: real calibrations annotated with the
+//! cloud-market metadata (speed, price, advertised fidelity tier) the
+//! orchestrator's placement and cost accounting use.
+
+use qoncord_device::calibration::Calibration;
+use qoncord_device::catalog;
+
+/// One device of the shared fleet.
+///
+/// Training runs against the real [`Calibration`]; the *advertised
+/// fidelity* is the marketed quality tier the placement policy sees (the
+/// analog of [`qoncord_cloud::device::CloudDevice`]'s fidelity axis), which
+/// spreads real calibrations over the policy's LF/HF split.
+#[derive(Debug, Clone)]
+pub struct FleetDevice {
+    calibration: Calibration,
+    speed: f64,
+    cost_per_second: f64,
+    advertised_fidelity: f64,
+}
+
+impl FleetDevice {
+    /// Wraps a calibration with unit speed, unit cost, and an advertised
+    /// fidelity derived from the two-qubit error rate.
+    pub fn new(calibration: Calibration) -> Self {
+        // 10× the two-qubit error is a crude depth-10 survival estimate; it
+        // only needs to order devices the way the market tiers them.
+        let advertised = (1.0 - 10.0 * calibration.error_2q()).clamp(0.05, 1.0);
+        FleetDevice {
+            calibration,
+            speed: 1.0,
+            cost_per_second: 1.0,
+            advertised_fidelity: advertised,
+        }
+    }
+
+    /// Sets the relative speed (1.0 = reference, larger = faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.speed = speed;
+        self
+    }
+
+    /// Sets the lease price per device-second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is negative.
+    pub fn with_cost_per_second(mut self, cost: f64) -> Self {
+        assert!(cost >= 0.0, "cost must be non-negative");
+        self.cost_per_second = cost;
+        self
+    }
+
+    /// Overrides the advertised fidelity tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is outside `(0, 1]`.
+    pub fn with_advertised_fidelity(mut self, fidelity: f64) -> Self {
+        assert!(
+            fidelity > 0.0 && fidelity <= 1.0,
+            "advertised fidelity in (0,1]"
+        );
+        self.advertised_fidelity = fidelity;
+        self
+    }
+
+    /// The device calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        self.calibration.name()
+    }
+
+    /// Relative speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Lease price per device-second.
+    pub fn cost_per_second(&self) -> f64 {
+        self.cost_per_second
+    }
+
+    /// The marketed fidelity tier placement policies rank by.
+    pub fn advertised_fidelity(&self) -> f64 {
+        self.advertised_fidelity
+    }
+}
+
+/// The reference fleet of the multi-tenant experiments: two low-fidelity
+/// devices (ibmq_toronto twins) absorbing exploration traffic and one
+/// high-fidelity device (ibmq_kolkata) priced 8× higher — mirroring the
+/// paper's Table II price gap between quality tiers.
+pub fn two_lf_one_hf_fleet() -> Vec<FleetDevice> {
+    vec![
+        FleetDevice::new(catalog::ibmq_toronto().renamed("lf_east")),
+        FleetDevice::new(catalog::ibmq_toronto().renamed("lf_west")),
+        FleetDevice::new(catalog::ibmq_kolkata().renamed("hf_core")).with_cost_per_second(8.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertised_fidelity_orders_lf_below_hf() {
+        let lf = FleetDevice::new(catalog::ibmq_toronto());
+        let hf = FleetDevice::new(catalog::ibmq_kolkata());
+        assert!(lf.advertised_fidelity() < hf.advertised_fidelity());
+        assert!(lf.advertised_fidelity() > 0.0);
+        assert!(hf.advertised_fidelity() <= 1.0);
+    }
+
+    #[test]
+    fn reference_fleet_has_unique_names_and_pricier_hf() {
+        let fleet = two_lf_one_hf_fleet();
+        assert_eq!(fleet.len(), 3);
+        let names: Vec<&str> = fleet.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["lf_east", "lf_west", "hf_core"]);
+        assert!(fleet[2].cost_per_second() > fleet[0].cost_per_second());
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_rejected() {
+        let _ = FleetDevice::new(catalog::ibmq_toronto()).with_speed(0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Tenant job specifications: a real VQA workload plus the cloud-side
+//! metadata (arrival time, priority, tenant identity) the orchestrator
+//! schedules by.
+
+use qoncord_core::executor::EvaluatorFactory;
+use qoncord_core::scheduler::QoncordConfig;
+use std::fmt;
+
+/// One tenant's job: a multi-restart VQA task submitted to the shared
+/// fleet at `arrival` (virtual seconds).
+///
+/// The training semantics — restart count, iteration budgets, triage
+/// policy, seeds — are exactly those of
+/// [`qoncord_core::scheduler::QoncordScheduler`]; given the same device
+/// ladder the orchestrator reproduces the closed-loop scheduler's results
+/// bit for bit, only the timing differs.
+pub struct TenantJob {
+    /// Unique job id (also the index into the orchestrator's report).
+    pub id: usize,
+    /// Submitting tenant; fair-share usage accumulates per tenant.
+    pub tenant: String,
+    /// Submission time, virtual seconds.
+    pub arrival: f64,
+    /// Dispatch priority: 0 = normal; higher values are granted device
+    /// leases sooner (folded into fair-share as usage credit).
+    pub priority: u32,
+    /// Number of random restarts.
+    pub n_restarts: usize,
+    /// Training configuration (budgets, convergence tiers, triage, seed).
+    pub config: QoncordConfig,
+    /// Builds the workload evaluator per fleet device.
+    pub factory: Box<dyn EvaluatorFactory>,
+}
+
+impl TenantJob {
+    /// Creates a job with default priority (0), 4 restarts, and the default
+    /// [`QoncordConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` is negative or not finite.
+    pub fn new(
+        id: usize,
+        tenant: impl Into<String>,
+        arrival: f64,
+        factory: Box<dyn EvaluatorFactory>,
+    ) -> Self {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival must be a non-negative finite time"
+        );
+        TenantJob {
+            id,
+            tenant: tenant.into(),
+            arrival,
+            priority: 0,
+            n_restarts: 4,
+            config: QoncordConfig::default(),
+            factory,
+        }
+    }
+
+    /// Sets the dispatch priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the restart count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_restarts == 0`.
+    pub fn with_restarts(mut self, n_restarts: usize) -> Self {
+        assert!(n_restarts > 0, "need at least one restart");
+        self.n_restarts = n_restarts;
+        self
+    }
+
+    /// Sets the training configuration.
+    pub fn with_config(mut self, config: QoncordConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl fmt::Debug for TenantJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantJob")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .field("arrival", &self.arrival)
+            .field("priority", &self.priority)
+            .field("n_restarts", &self.n_restarts)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoncord_core::executor::QaoaFactory;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn factory() -> Box<dyn EvaluatorFactory> {
+        Box::new(QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        })
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let job = TenantJob::new(3, "alice", 10.0, factory())
+            .with_priority(2)
+            .with_restarts(6);
+        assert_eq!(job.id, 3);
+        assert_eq!(job.tenant, "alice");
+        assert_eq!(job.priority, 2);
+        assert_eq!(job.n_restarts, 6);
+        assert!(format!("{job:?}").contains("alice"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival")]
+    fn negative_arrival_rejected() {
+        let _ = TenantJob::new(0, "a", -1.0, factory());
+    }
+
+    #[test]
+    #[should_panic(expected = "restart")]
+    fn zero_restarts_rejected() {
+        let _ = TenantJob::new(0, "a", 0.0, factory()).with_restarts(0);
+    }
+}

@@ -1,0 +1,278 @@
+//! # qoncord-orchestrator
+//!
+//! Multi-tenant job orchestration for the Qoncord reproduction: a stream of
+//! *real* VQA jobs — QAOA/VQE training runs with restarts, triage, and
+//! progressive fine-tuning from `qoncord-core` — executed concurrently
+//! against a shared device fleet on a discrete-event virtual clock.
+//!
+//! This crate bridges the repo's two previously separate layers:
+//!
+//! - `qoncord-core` trains one job at a time against private device lanes;
+//! - `qoncord-cloud` simulates queues over abstract job durations.
+//!
+//! Here every optimizer batch of every tenant becomes a device reservation,
+//! so low-fidelity exploration, cluster triage, and high-fidelity
+//! fine-tuning from different tenants interleave on real shared hardware
+//! models. The pieces:
+//!
+//! - [`job`] — tenant job specs (arrival, priority, restarts, workload).
+//! - [`fleet`] — the shared fleet: calibrations + market metadata.
+//! - [`engine`] — the event loop: fair-share lease dispatch (reusing
+//!   [`qoncord_cloud::fairshare`]), ladder selection per arrival (reusing
+//!   [`qoncord_cloud::policy::place_job`]), and pruning-aware cancellation
+//!   of reservations when restart triage kills work mid-flight.
+//! - [`telemetry`] — per-job wait/makespan/device-seconds/cost and fleet
+//!   utilization.
+//!
+//! Per-job numeric results are **identical** to the closed-loop
+//! [`qoncord_core::scheduler::QoncordScheduler`] given the same ladder and
+//! seeds — multi-tenancy changes only the timing, which is the point: the
+//! fleet makespan of N concurrent jobs is strictly below the sum of their
+//! solo makespans.
+
+#![warn(missing_docs)]
+
+mod driver;
+mod events;
+
+pub mod engine;
+pub mod fleet;
+pub mod job;
+pub mod telemetry;
+
+pub use engine::{Orchestrator, OrchestratorConfig};
+pub use fleet::{two_lf_one_hf_fleet, FleetDevice};
+pub use job::TenantJob;
+pub use telemetry::{
+    DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoncord_cloud::policy::Policy;
+    use qoncord_core::executor::QaoaFactory;
+    use qoncord_core::scheduler::QoncordConfig;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn quick_config(seed: u64) -> QoncordConfig {
+        QoncordConfig {
+            exploration_max_iterations: 6,
+            finetune_max_iterations: 8,
+            seed,
+            ..QoncordConfig::default()
+        }
+    }
+
+    fn job(id: usize, arrival: f64, seed: u64) -> TenantJob {
+        let factory = QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        };
+        TenantJob::new(id, format!("tenant-{id}"), arrival, Box::new(factory))
+            .with_restarts(2)
+            .with_config(quick_config(seed))
+    }
+
+    fn orchestrator(policy: Policy) -> Orchestrator {
+        Orchestrator::new(
+            OrchestratorConfig {
+                policy,
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        )
+    }
+
+    #[test]
+    fn solo_job_makespan_equals_its_busy_seconds() {
+        // A single tenant never waits: its makespan is exactly the sum of
+        // its batch durations — the identity sequential_makespan() rests on.
+        let report = orchestrator(Policy::Qoncord).run(&[job(0, 0.0, 5)]);
+        assert_eq!(report.completed(), 1);
+        let t = &report.jobs[0].telemetry;
+        assert_eq!(t.wait_time(), Some(0.0));
+        assert!((report.makespan() - t.busy_seconds()).abs() < 1e-9);
+        assert!((report.speedup_vs_sequential() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_tenants_beat_back_to_back_execution() {
+        let jobs: Vec<TenantJob> = (0..4).map(|i| job(i, 0.0, 40 + i as u64)).collect();
+        let report = orchestrator(Policy::Qoncord).run(&jobs);
+        assert_eq!(report.completed(), 4);
+        assert!(
+            report.makespan() < report.sequential_makespan(),
+            "sharing the fleet must beat serial execution: {} vs {}",
+            report.makespan(),
+            report.sequential_makespan()
+        );
+        assert!(report.speedup_vs_sequential() > 1.0);
+        // Work conservation: fleet busy time equals the jobs' leased time.
+        let fleet_busy: f64 = report.fleet.devices.iter().map(|d| d.busy_seconds).sum();
+        assert!((fleet_busy - report.sequential_makespan()).abs() < 1e-6);
+        for u in report.fleet.utilization() {
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn best_fidelity_policy_uses_only_the_hf_device() {
+        let jobs: Vec<TenantJob> = (0..2).map(|i| job(i, 0.0, 7 + i as u64)).collect();
+        let report = orchestrator(Policy::BestFidelity).run(&jobs);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.fleet.devices[0].executions, 0, "lf_east idle");
+        assert_eq!(report.fleet.devices[1].executions, 0, "lf_west idle");
+        assert!(report.fleet.devices[2].executions > 0, "hf_core busy");
+    }
+
+    #[test]
+    fn qoncord_policy_is_cheaper_than_hf_only() {
+        // The cost claim in miniature: exploration on cheap LF devices
+        // lowers the lease bill relative to the HF-only baseline.
+        let jobs =
+            |n: usize| -> Vec<TenantJob> { (0..n).map(|i| job(i, 0.0, 90 + i as u64)).collect() };
+        let q = orchestrator(Policy::Qoncord).run(&jobs(3));
+        let hf = orchestrator(Policy::BestFidelity).run(&jobs(3));
+        assert!(
+            q.total_cost() < hf.total_cost(),
+            "Qoncord {} vs HF-only {}",
+            q.total_cost(),
+            hf.total_cost()
+        );
+    }
+
+    #[test]
+    fn triage_releases_provisional_reservations() {
+        let factory = QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        };
+        let cfg = QoncordConfig {
+            selection: qoncord_core::SelectionPolicy::TopK(2),
+            ..quick_config(3)
+        };
+        let spec = TenantJob::new(0, "pruner", 0.0, Box::new(factory))
+            .with_restarts(6)
+            .with_config(cfg);
+        let report = orchestrator(Policy::Qoncord).run(&[spec]);
+        let t = &report.jobs[0].telemetry;
+        assert_eq!(t.released_reservations, 4, "TopK(2) of 6 releases 4 holds");
+        assert!(t.released_seconds > 0.0);
+    }
+
+    #[test]
+    fn higher_priority_job_is_dispatched_first() {
+        // Three tenants contend for the single HF device: job 0 is granted
+        // the idle device on arrival, jobs 1 and 2 queue behind its first
+        // batch; the high-priority one must be granted before the other.
+        let fleet = vec![two_lf_one_hf_fleet().remove(2)];
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                policy: Policy::BestFidelity,
+                ..OrchestratorConfig::default()
+            },
+            fleet,
+        );
+        let jobs = vec![
+            job(0, 0.0, 1),
+            job(1, 0.0, 2),
+            job(2, 0.0, 3).with_priority(4),
+        ];
+        let report = orch.run(&jobs);
+        assert_eq!(report.completed(), 3);
+        let start = |i: usize| report.jobs[i].telemetry.first_start.unwrap();
+        assert!(
+            start(2) < start(1),
+            "priority 4 job must start before the earlier priority 0 job: {} vs {}",
+            start(2),
+            start(1)
+        );
+    }
+
+    #[test]
+    fn rejected_priority_job_grants_no_lasting_credit() {
+        // A high-priority job whose admission fails must not leave usage
+        // credit behind for its tenant: the tenant's later normal job has
+        // to queue behind an earlier request on plain FIFO terms.
+        let fleet = vec![two_lf_one_hf_fleet().remove(2)];
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                policy: Policy::BestFidelity,
+                ..OrchestratorConfig::default()
+            },
+            fleet,
+        );
+        let rejected_factory = QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        };
+        let rejected_cfg = QoncordConfig {
+            min_fidelity: 0.999,
+            ..quick_config(9)
+        };
+        let mut filler = job(0, 0.0, 1);
+        filler.tenant = "w".into();
+        let mut first_in_line = job(1, 0.0, 2);
+        first_in_line.tenant = "u".into();
+        let rejected = TenantJob::new(2, "t", 0.0, Box::new(rejected_factory))
+            .with_priority(9)
+            .with_config(rejected_cfg);
+        let mut latecomer = job(3, 0.001, 3);
+        latecomer.tenant = "t".into();
+        let report = orch.run(&[filler, first_in_line, rejected, latecomer]);
+        assert!(!report.jobs[2].status.is_completed());
+        let start = |i: usize| report.jobs[i].telemetry.first_start.unwrap();
+        assert!(
+            start(1) < start(3),
+            "tenant t must not inherit credit from its rejected priority job: {} vs {}",
+            start(1),
+            start(3)
+        );
+    }
+
+    #[test]
+    fn rejected_jobs_are_reported_not_run() {
+        let factory = QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        };
+        let cfg = QoncordConfig {
+            min_fidelity: 0.999,
+            ..quick_config(1)
+        };
+        let spec = TenantJob::new(0, "unlucky", 0.0, Box::new(factory)).with_config(cfg);
+        let report = orchestrator(Policy::Qoncord).run(&[spec]);
+        assert_eq!(report.completed(), 0);
+        assert!(!report.jobs[0].status.is_completed());
+        assert_eq!(report.jobs[0].telemetry.executions, 0);
+        assert_eq!(report.makespan(), 0.0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mk = || -> Vec<TenantJob> { (0..3).map(|i| job(i, i as f64, 60 + i as u64)).collect() };
+        let a = orchestrator(Policy::Qoncord).run(&mk());
+        let b = orchestrator(Policy::Qoncord).run(&mk());
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.total_cost(), b.total_cost());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(
+                x.status.report().map(|r| r.best_expectation()),
+                y.status.report().map(|r| r.best_expectation())
+            );
+        }
+    }
+
+    #[test]
+    fn both_lf_devices_absorb_exploration_under_load() {
+        // With several tenants, the load-aware LF placement must spread
+        // exploration over both cheap devices.
+        let jobs: Vec<TenantJob> = (0..6).map(|i| job(i, i as f64 * 0.5, i as u64)).collect();
+        let report = orchestrator(Policy::Qoncord).run(&jobs);
+        assert_eq!(report.completed(), 6);
+        assert!(report.fleet.devices[0].executions > 0, "lf_east used");
+        assert!(report.fleet.devices[1].executions > 0, "lf_west used");
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-job and fleet-level telemetry of an orchestration run: wait times,
+//! makespans, device-seconds, lease cost, and released reservations.
+
+use qoncord_core::executor::RejectedDevice;
+use qoncord_core::scheduler::QoncordReport;
+
+/// Timing and resource accounting of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTelemetry {
+    /// Submission time.
+    pub arrival: f64,
+    /// When the first batch started (None if the job never ran).
+    pub first_start: Option<f64>,
+    /// When the last batch completed (None if the job never finished).
+    pub completion: Option<f64>,
+    /// Device-seconds leased, per fleet device index.
+    pub device_seconds: Vec<f64>,
+    /// Circuit executions consumed across the fleet.
+    pub executions: u64,
+    /// Lease cost: device-seconds × each device's price.
+    pub cost: f64,
+    /// Provisional reservations released when triage pruned their restarts.
+    pub released_reservations: usize,
+    /// Device-seconds those released reservations had claimed.
+    pub released_seconds: f64,
+}
+
+impl JobTelemetry {
+    pub(crate) fn new(arrival: f64, n_devices: usize) -> Self {
+        JobTelemetry {
+            arrival,
+            first_start: None,
+            completion: None,
+            device_seconds: vec![0.0; n_devices],
+            executions: 0,
+            cost: 0.0,
+            released_reservations: 0,
+            released_seconds: 0.0,
+        }
+    }
+
+    /// Seconds between submission and the first granted batch.
+    pub fn wait_time(&self) -> Option<f64> {
+        self.first_start.map(|s| s - self.arrival)
+    }
+
+    /// Seconds between submission and completion.
+    pub fn turnaround(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+
+    /// Total device-seconds leased. Because a job is internally sequential,
+    /// this is also its solo (uncontended) makespan.
+    pub fn busy_seconds(&self) -> f64 {
+        self.device_seconds.iter().sum()
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// The job ran to completion; `report` is identical in structure (and,
+    /// for the same ladder, in content) to the closed-loop scheduler's.
+    Completed {
+        /// The training outcome.
+        report: QoncordReport,
+    },
+    /// No fleet device passed the job's fidelity filter.
+    Rejected {
+        /// The rejected devices and reasons.
+        rejected: Vec<RejectedDevice>,
+    },
+}
+
+impl JobStatus {
+    /// Whether the job completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobStatus::Completed { .. })
+    }
+
+    /// The training report, if the job completed.
+    pub fn report(&self) -> Option<&QoncordReport> {
+        match self {
+            JobStatus::Completed { report } => Some(report),
+            JobStatus::Rejected { .. } => None,
+        }
+    }
+}
+
+/// One job's record in the orchestration report.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (as submitted).
+    pub id: usize,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Dispatch priority.
+    pub priority: u32,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Timing and resource telemetry.
+    pub telemetry: JobTelemetry,
+}
+
+/// One fleet device's aggregate accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTelemetry {
+    /// Device name.
+    pub name: String,
+    /// Seconds the device spent executing leased batches.
+    pub busy_seconds: f64,
+    /// Circuit executions completed.
+    pub executions: u64,
+}
+
+/// Fleet-level accounting of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTelemetry {
+    /// Per-device accounting, fleet order.
+    pub devices: Vec<DeviceTelemetry>,
+    /// Virtual time of the last batch completion (0 when nothing ran).
+    pub makespan: f64,
+}
+
+impl FleetTelemetry {
+    /// Per-device utilization: busy seconds over the fleet makespan.
+    pub fn utilization(&self) -> Vec<f64> {
+        let busy: Vec<f64> = self.devices.iter().map(|d| d.busy_seconds).collect();
+        qoncord_cloud::sim::utilization(&busy, self.makespan)
+    }
+
+    /// Mean utilization across the fleet.
+    pub fn mean_utilization(&self) -> f64 {
+        let busy: Vec<f64> = self.devices.iter().map(|d| d.busy_seconds).collect();
+        qoncord_cloud::sim::mean_utilization(&busy, self.makespan)
+    }
+}
+
+/// The orchestrator's full output.
+#[derive(Debug, Clone)]
+pub struct OrchestratorReport {
+    /// Per-job records, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Fleet-level accounting.
+    pub fleet: FleetTelemetry,
+}
+
+impl OrchestratorReport {
+    /// Virtual time of the last batch completion.
+    pub fn makespan(&self) -> f64 {
+        self.fleet.makespan
+    }
+
+    /// What running the same jobs back-to-back on the fleet would take:
+    /// each job is internally sequential, so its solo makespan equals its
+    /// leased device-seconds, and a serial schedule is their sum.
+    pub fn sequential_makespan(&self) -> f64 {
+        self.jobs.iter().map(|j| j.telemetry.busy_seconds()).sum()
+    }
+
+    /// Multi-tenant speedup over back-to-back execution (1.0 when nothing
+    /// ran).
+    pub fn speedup_vs_sequential(&self) -> f64 {
+        if self.fleet.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_makespan() / self.fleet.makespan
+    }
+
+    /// Total lease cost across jobs.
+    pub fn total_cost(&self) -> f64 {
+        self.jobs.iter().map(|j| j.telemetry.cost).sum()
+    }
+
+    /// Mean wait time over the jobs that ran.
+    pub fn mean_wait(&self) -> f64 {
+        let waits: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.telemetry.wait_time())
+            .collect();
+        if waits.is_empty() {
+            return 0.0;
+        }
+        waits.iter().sum::<f64>() / waits.len() as f64
+    }
+
+    /// Number of jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.status.is_completed()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_telemetry_derived_metrics() {
+        let mut t = JobTelemetry::new(5.0, 2);
+        assert_eq!(t.wait_time(), None);
+        t.first_start = Some(7.5);
+        t.completion = Some(20.0);
+        t.device_seconds = vec![3.0, 4.0];
+        assert_eq!(t.wait_time(), Some(2.5));
+        assert_eq!(t.turnaround(), Some(15.0));
+        assert_eq!(t.busy_seconds(), 7.0);
+    }
+
+    #[test]
+    fn fleet_utilization_bounds() {
+        let fleet = FleetTelemetry {
+            devices: vec![
+                DeviceTelemetry {
+                    name: "a".into(),
+                    busy_seconds: 5.0,
+                    executions: 10,
+                },
+                DeviceTelemetry {
+                    name: "b".into(),
+                    busy_seconds: 10.0,
+                    executions: 20,
+                },
+            ],
+            makespan: 10.0,
+        };
+        assert_eq!(fleet.utilization(), vec![0.5, 1.0]);
+        assert!((fleet.mean_utilization() - 0.75).abs() < 1e-12);
+        let idle = FleetTelemetry {
+            devices: fleet.devices.clone(),
+            makespan: 0.0,
+        };
+        assert_eq!(idle.utilization(), vec![0.0, 0.0]);
+    }
+}

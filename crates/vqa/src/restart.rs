@@ -78,6 +78,33 @@ pub struct TrainingResult {
     pub executions: u64,
 }
 
+/// Runs exactly one optimizer iteration: the optimizer mutates `params` in
+/// place and the evaluation at the new iterate is returned as the
+/// iteration's record.
+///
+/// This is the atomic unit of training — one *batch* of circuit executions
+/// on a device. [`train`] loops it for closed-loop runs; Qoncord's
+/// multi-tenant orchestrator dispatches it batch-by-batch so a run can be
+/// paused, interleaved with other tenants, and resumed.
+pub fn train_step(
+    evaluator: &mut dyn CostEvaluator,
+    optimizer: &mut dyn Optimizer,
+    params: &mut [f64],
+    iteration: usize,
+    rng: &mut StdRng,
+) -> IterationRecord {
+    // The optimizer sees only the scalar; entropy is captured on the
+    // evaluation of the updated iterate below.
+    let mut objective = |p: &[f64]| evaluator.evaluate(p).expectation;
+    optimizer.step(params, &mut objective, rng);
+    let eval = evaluator.evaluate(params);
+    IterationRecord {
+        iteration,
+        expectation: eval.expectation,
+        entropy: eval.entropy,
+    }
+}
+
 /// Runs the step-wise training loop: at each iteration the optimizer mutates
 /// `params` and the evaluation at the new iterate is recorded; `stop`
 /// receives `(iteration, record)` and returns `true` to terminate early.
@@ -96,16 +123,7 @@ pub fn train(
     let start_executions = evaluator.executions();
     let mut trace = Trace::default();
     for iteration in 0..max_iterations {
-        // The optimizer sees only the scalar; entropy is captured on the
-        // evaluation of the updated iterate below.
-        let mut objective = |p: &[f64]| evaluator.evaluate(p).expectation;
-        optimizer.step(&mut params, &mut objective, rng);
-        let eval = evaluator.evaluate(&params);
-        let record = IterationRecord {
-            iteration,
-            expectation: eval.expectation,
-            entropy: eval.entropy,
-        };
+        let record = train_step(evaluator, optimizer, &mut params, iteration, rng);
         trace.records.push(record);
         if stop(iteration, &record) {
             break;
@@ -242,6 +260,41 @@ mod tests {
             |i, _| i >= 4,
         );
         assert_eq!(result.trace.len(), 5);
+    }
+
+    #[test]
+    fn train_step_matches_closed_loop() {
+        // Driving train_step by hand must reproduce `train` exactly: the
+        // orchestrator relies on batch-wise execution being bit-identical.
+        let mut eval_a = triangle_evaluator();
+        let mut spsa_a = Spsa::default();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let closed = train(
+            &mut eval_a,
+            &mut spsa_a,
+            vec![0.4, 0.1],
+            8,
+            &mut rng_a,
+            |_, _| false,
+        );
+
+        let mut eval_b = triangle_evaluator();
+        let mut spsa_b = Spsa::default();
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut params = vec![0.4, 0.1];
+        let mut records = Vec::new();
+        for i in 0..8 {
+            records.push(train_step(
+                &mut eval_b,
+                &mut spsa_b,
+                &mut params,
+                i,
+                &mut rng_b,
+            ));
+        }
+        assert_eq!(closed.params, params);
+        assert_eq!(closed.trace.records, records);
+        assert_eq!(closed.executions, eval_b.executions());
     }
 
     #[test]

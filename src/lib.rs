@@ -14,6 +14,9 @@
 //!   triage, multi-device phase execution.
 //! - [`cloud`] — the discrete-event queue simulator and scheduling
 //!   policies.
+//! - [`orchestrator`] — multi-tenant orchestration: streams of real VQA
+//!   jobs executed concurrently over a shared device fleet on a virtual
+//!   clock, with fair-share lease dispatch and pruning-aware cancellation.
 //!
 //! ## Quickstart
 //!
@@ -36,5 +39,6 @@ pub use qoncord_circuit as circuit;
 pub use qoncord_cloud as cloud;
 pub use qoncord_core as core;
 pub use qoncord_device as device;
+pub use qoncord_orchestrator as orchestrator;
 pub use qoncord_sim as sim;
 pub use qoncord_vqa as vqa;

@@ -1,0 +1,96 @@
+//! End-to-end multi-tenant orchestration: eight concurrent tenants on a
+//! 2-LF/1-HF fleet must reproduce, per job, exactly the converged quality
+//! of sequential closed-loop scheduling (same seeds), while the shared
+//! fleet's makespan beats running the jobs back to back.
+
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::scheduler::{QoncordConfig, QoncordScheduler};
+use qoncord::device::catalog;
+use qoncord::orchestrator::{two_lf_one_hf_fleet, Orchestrator, OrchestratorConfig, TenantJob};
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+
+const N_TENANTS: usize = 8;
+const N_RESTARTS: usize = 4;
+
+fn factory() -> QaoaFactory {
+    QaoaFactory {
+        problem: MaxCut::new(Graph::paper_graph_7()),
+        layers: 1,
+    }
+}
+
+fn training_config(tenant: usize) -> QoncordConfig {
+    QoncordConfig {
+        exploration_max_iterations: 8,
+        finetune_max_iterations: 10,
+        seed: 0xA110 + tenant as u64,
+        ..QoncordConfig::default()
+    }
+}
+
+#[test]
+fn eight_tenants_match_sequential_quality_at_lower_makespan() {
+    // All eight tenants arrive at t=0 and contend for 2 LF + 1 HF devices.
+    let jobs: Vec<TenantJob> = (0..N_TENANTS)
+        .map(|i| {
+            TenantJob::new(i, format!("tenant-{i}"), 0.0, Box::new(factory()))
+                .with_restarts(N_RESTARTS)
+                .with_config(training_config(i))
+        })
+        .collect();
+    let orchestrator = Orchestrator::new(OrchestratorConfig::default(), two_lf_one_hf_fleet());
+    let report = orchestrator.run(&jobs);
+    assert_eq!(report.completed(), N_TENANTS, "every tenant completes");
+
+    // Per-job quality must equal sequential closed-loop scheduling with the
+    // same seeds on the same (LF, HF) ladder — the fleet's LF twins are
+    // renamed ibmq_toronto calibrations, so either twin reproduces it.
+    let sequential_devices = [catalog::ibmq_toronto(), catalog::ibmq_kolkata()];
+    for (i, job) in report.jobs.iter().enumerate() {
+        let sequential = QoncordScheduler::new(training_config(i))
+            .run(&sequential_devices, &factory(), N_RESTARTS)
+            .unwrap();
+        let shared = job.status.report().expect("job completed");
+        assert_eq!(
+            shared.best_expectation(),
+            sequential.best_expectation(),
+            "tenant {i}: shared-fleet quality must equal sequential scheduling"
+        );
+        assert_eq!(
+            shared.terminated_restarts(),
+            sequential.terminated_restarts(),
+            "tenant {i}: triage must prune the same restarts"
+        );
+        assert_eq!(
+            shared.total_executions(),
+            sequential.total_executions(),
+            "tenant {i}: identical circuit-execution footprint"
+        );
+        for (a, b) in shared.restarts.iter().zip(&sequential.restarts) {
+            assert_eq!(a.final_expectation, b.final_expectation);
+            assert_eq!(a.final_params, b.final_params);
+        }
+    }
+
+    // The multi-tenant win: sharing the fleet strictly beats running the
+    // jobs back to back (each job is internally sequential, so its solo
+    // makespan equals its leased device-seconds).
+    assert!(
+        report.makespan() < report.sequential_makespan(),
+        "fleet makespan {} must be strictly below the serial sum {}",
+        report.makespan(),
+        report.sequential_makespan()
+    );
+    assert!(report.speedup_vs_sequential() > 1.0);
+
+    // Sanity on the fleet accounting: utilization is a valid fraction and
+    // busy time is conserved across the job and device views.
+    let fleet_busy: f64 = report.fleet.devices.iter().map(|d| d.busy_seconds).sum();
+    let job_busy: f64 = report.jobs.iter().map(|j| j.telemetry.busy_seconds()).sum();
+    assert!((fleet_busy - job_busy).abs() < 1e-6);
+    for utilization in report.fleet.utilization() {
+        assert!((0.0..=1.0 + 1e-9).contains(&utilization));
+    }
+    // With 8 tenants contending, someone must have waited.
+    assert!(report.mean_wait() > 0.0);
+}
