@@ -122,6 +122,13 @@ impl FairShareQueue {
         self.usage.get(user).copied().unwrap_or_default()
     }
 
+    /// Iterates the pending requests in insertion order (a dispatcher that
+    /// layers its own priority rules over fair-share — e.g. preemption
+    /// eligibility — needs to inspect the queue without popping).
+    pub fn pending(&self) -> impl Iterator<Item = &QueuedRequest> {
+        self.pending.iter()
+    }
+
     /// Enqueues a request and bumps the user's in-flight count.
     pub fn push(&mut self, request: QueuedRequest) {
         self.usage
@@ -171,6 +178,25 @@ impl FairShareQueue {
             u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
         }
         Some(request)
+    }
+
+    /// Requeues a request whose granted device time was preempted before it
+    /// produced anything: the tenant is credited `burned_seconds` of
+    /// fair-share usage as compensation for the delay, so eviction victims
+    /// float back up the queue. The caller owns the credit's lifetime —
+    /// charge it back (via [`record_usage`](Self::record_usage)) once the
+    /// victim is made whole, or it becomes a permanent discount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burned_seconds` is negative or not finite.
+    pub fn requeue_with_credit(&mut self, request: QueuedRequest, burned_seconds: f64) {
+        assert!(
+            burned_seconds.is_finite() && burned_seconds >= 0.0,
+            "burned seconds must be a non-negative finite number"
+        );
+        self.record_usage(&request.user, -burned_seconds);
+        self.push(request);
     }
 
     /// Removes every request matching `pred` without running it, releasing
@@ -305,6 +331,26 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(q.pop_where(|r| r.id == 7).is_none());
         assert_eq!(q.len(), 1, "non-matching pop leaves the queue intact");
+    }
+
+    #[test]
+    fn requeue_with_credit_floats_the_victim() {
+        let mut q = FairShareQueue::new();
+        // Both tenants have identical history; the victim burned 40s of
+        // occupancy on an evicted lease, so its requeued request must beat
+        // an otherwise-equal earlier submission.
+        q.record_usage("victim", 100.0);
+        q.record_usage("other", 100.0);
+        q.push(req(0, "other", 10.0, 0.0));
+        q.requeue_with_credit(req(1, "victim", 10.0, 5.0), 40.0);
+        assert_eq!(q.usage("victim").consumed_seconds, 60.0);
+        assert_eq!(q.pop().unwrap().id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "burned seconds")]
+    fn negative_burned_credit_rejected() {
+        FairShareQueue::new().requeue_with_credit(req(0, "a", 1.0, 0.0), -1.0);
     }
 
     #[test]

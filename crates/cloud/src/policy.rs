@@ -218,6 +218,77 @@ pub fn place_job(
     }
 }
 
+/// Projected timing of a job's placements over live device loads: when its
+/// first placement could start, how much device time the job needs in total,
+/// and when its last placement would finish.
+///
+/// This is the cost model deadline-aware admission control runs before
+/// accepting a job: compare [`completion`](FeasibilityEstimate::completion)
+/// (plus any safety margin) against the job's deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityEstimate {
+    /// Seconds between the decision time and the projected first start.
+    pub queue_seconds: f64,
+    /// Total device-seconds of service across all placements.
+    pub service_seconds: f64,
+    /// Projected completion time (absolute, same clock as `now`).
+    pub completion: f64,
+}
+
+impl FeasibilityEstimate {
+    /// Seconds of headroom left before `deadline` (negative when the job is
+    /// projected to miss it).
+    pub fn slack(&self, deadline: f64) -> f64 {
+        deadline - self.completion
+    }
+
+    /// Whether the projected completion (inflated by `margin` seconds of
+    /// safety) lands at or before `deadline`.
+    pub fn meets(&self, deadline: f64, margin: f64) -> bool {
+        self.completion + margin <= deadline
+    }
+}
+
+/// Projects when a job placed as `placements` would complete, given each
+/// device's committed backlog and per-circuit execution time.
+///
+/// Placements are assumed to run in order (Qoncord's exploration block
+/// precedes its fine-tuning block): each starts once its device's backlog
+/// has drained *and* the previous placement has finished.
+///
+/// # Panics
+///
+/// Panics if a placement's device index has no entry in `devices` /
+/// `seconds_per_circuit`.
+pub fn estimate_feasibility(
+    placements: &[Placement],
+    devices: &[CloudDevice],
+    seconds_per_circuit: &[f64],
+    now: f64,
+) -> FeasibilityEstimate {
+    assert_eq!(
+        devices.len(),
+        seconds_per_circuit.len(),
+        "one per-circuit time per device"
+    );
+    let mut previous_finish = now;
+    let mut first_start = None;
+    let mut service_seconds = 0.0;
+    for p in placements {
+        let backlog_clear = now + devices[p.device].load_after(now);
+        let start = backlog_clear.max(previous_finish);
+        first_start.get_or_insert(start);
+        let run = p.circuits as f64 * seconds_per_circuit[p.device];
+        service_seconds += run;
+        previous_finish = start + run;
+    }
+    FeasibilityEstimate {
+        queue_seconds: first_start.unwrap_or(now) - now,
+        service_seconds,
+        completion: previous_finish,
+    }
+}
+
 fn least_busy(devices: &[CloudDevice], now: f64) -> usize {
     devices
         .iter()
@@ -380,6 +451,44 @@ mod tests {
             hits_loaded < 20,
             "overloaded device still chosen {hits_loaded} times"
         );
+    }
+
+    #[test]
+    fn feasibility_sequences_placements_behind_backlogs() {
+        let mut devices = vec![CloudDevice::new(0, 0.5, 1.0), CloudDevice::new(1, 0.9, 1.0)];
+        devices[0].schedule(0.0, 4.0); // LF backlog clears at t=4
+        let placements = [
+            Placement {
+                device: 0,
+                circuits: 10,
+                quality_weight: 0.1,
+            },
+            Placement {
+                device: 1,
+                circuits: 5,
+                quality_weight: 0.9,
+            },
+        ];
+        let secs = [1.0, 2.0];
+        let est = estimate_feasibility(&placements, &devices, &secs, 0.0);
+        // Exploration waits for the backlog, runs 10s; fine-tune starts when
+        // exploration ends (its own device is idle) and runs 10s.
+        assert_eq!(est.queue_seconds, 4.0);
+        assert_eq!(est.service_seconds, 20.0);
+        assert_eq!(est.completion, 24.0);
+        assert!(est.meets(24.0, 0.0));
+        assert!(!est.meets(24.0, 1.0));
+        assert_eq!(est.slack(30.0), 6.0);
+        assert_eq!(est.slack(20.0), -4.0);
+    }
+
+    #[test]
+    fn feasibility_of_empty_placement_is_immediate() {
+        let devices = vec![CloudDevice::new(0, 0.5, 1.0)];
+        let est = estimate_feasibility(&[], &devices, &[1.0], 7.0);
+        assert_eq!(est.queue_seconds, 0.0);
+        assert_eq!(est.service_seconds, 0.0);
+        assert_eq!(est.completion, 7.0);
     }
 
     #[test]

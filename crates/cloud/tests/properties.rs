@@ -1,11 +1,34 @@
-//! Property-based tests of the queue simulator: conservation laws and
-//! schedule validity under arbitrary workloads.
+//! Property-based tests of the queue simulator and the fair-share queue:
+//! conservation laws, schedule validity, and queue-accounting invariants
+//! under arbitrary workloads.
 
 use proptest::prelude::*;
 use qoncord_cloud::device::{hypothetical_fleet, CloudDevice};
+use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
 use qoncord_cloud::policy::Policy;
 use qoncord_cloud::sim::simulate;
 use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+
+/// Builds a queue holding `ids` as requests spread over a small user pool.
+fn queue_of(ids: &[usize]) -> FairShareQueue {
+    let mut q = FairShareQueue::new();
+    for &id in ids {
+        q.push(QueuedRequest {
+            id,
+            user: format!("user-{}", id % 3),
+            requested_seconds: 1.0 + id as f64,
+            submitted_at: id as f64,
+        });
+    }
+    q
+}
+
+/// Sum of in-flight slots across every user the queue has seen.
+fn total_in_flight(q: &FairShareQueue, users: usize) -> u32 {
+    (0..users)
+        .map(|u| q.usage(&format!("user-{u}")).jobs_in_flight)
+        .sum()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -71,6 +94,76 @@ proptest! {
             let throughput = r.throughput();
             prop_assert!(throughput.is_finite(), "{policy}: throughput {throughput}");
             prop_assert!(throughput >= 0.0, "{policy}: throughput {throughput}");
+        }
+    }
+
+    /// `pop_where` with an all-rejecting predicate is a pure no-op: nothing
+    /// is returned, the queue keeps its length, and no in-flight slot is
+    /// released — and on an empty queue every operation is trivially inert.
+    #[test]
+    fn all_filtered_pop_and_cancel_are_noops(n in 0..24usize) {
+        let ids: Vec<usize> = (0..n).collect();
+        let mut q = queue_of(&ids);
+        let in_flight_before = total_in_flight(&q, 3);
+        prop_assert_eq!(in_flight_before as usize, n, "push tracks in-flight");
+
+        prop_assert!(q.pop_where(|_| false).is_none());
+        prop_assert_eq!(q.len(), n);
+        prop_assert_eq!(total_in_flight(&q, 3), in_flight_before);
+
+        prop_assert!(q.cancel_where(|_| false).is_empty());
+        prop_assert_eq!(q.len(), n);
+        prop_assert_eq!(total_in_flight(&q, 3), in_flight_before);
+
+        // Empty-queue edge: drain everything, then poke the empty queue.
+        while q.pop().is_some() {}
+        prop_assert!(q.is_empty());
+        prop_assert!(q.pop().is_none());
+        prop_assert!(q.pop_where(|_| true).is_none());
+        prop_assert!(q.cancel_where(|_| true).is_empty());
+        prop_assert_eq!(total_in_flight(&q, 3), 0, "drain released every slot");
+    }
+
+    /// Cancelling an entry that was already popped neither removes anything
+    /// else nor double-releases the popped request's in-flight slot.
+    #[test]
+    fn cancel_of_already_popped_entry_is_inert(n in 1..24usize, pick in 0..24usize) {
+        let ids: Vec<usize> = (0..n).collect();
+        let mut q = queue_of(&ids);
+        let target = pick % n;
+        let popped = q.pop_where(|r| r.id == target).expect("target is queued");
+        prop_assert_eq!(popped.id, target);
+        let len_after_pop = q.len();
+        let in_flight_after_pop = total_in_flight(&q, 3);
+
+        let cancelled = q.cancel_where(|r| r.id == target);
+        prop_assert!(cancelled.is_empty(), "the entry is gone already");
+        prop_assert_eq!(q.len(), len_after_pop);
+        prop_assert_eq!(total_in_flight(&q, 3), in_flight_after_pop,
+            "no double release of the popped slot");
+
+        // A second cancel of everything still accounts exactly once.
+        let swept = q.cancel_where(|_| true);
+        prop_assert_eq!(swept.len(), n - 1);
+        prop_assert_eq!(total_in_flight(&q, 3), 0);
+    }
+
+    /// Under any interleaving of pops and cancels, in-flight slots equal
+    /// the number of requests still pending.
+    #[test]
+    fn in_flight_always_matches_pending(
+        n in 0..24usize,
+        ops in proptest::collection::vec((0..3u8, 0..24usize), 0..32),
+    ) {
+        let ids: Vec<usize> = (0..n).collect();
+        let mut q = queue_of(&ids);
+        for (op, arg) in ops {
+            match op {
+                0 => { q.pop(); }
+                1 => { q.pop_where(|r| r.id % 4 == arg % 4); }
+                _ => { q.cancel_where(|r| r.id == arg); }
+            }
+            prop_assert_eq!(total_in_flight(&q, 3) as usize, q.len());
         }
     }
 

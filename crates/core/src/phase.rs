@@ -28,6 +28,61 @@ pub struct BatchOutcome {
     pub finished: bool,
 }
 
+/// A snapshot of the resume-relevant optimizer state of a phase at a batch
+/// boundary: the iterate, how many iterations have run, and the circuit
+/// executions consumed so far.
+///
+/// This is what a preemptible device lease carries as its "saved state":
+/// because [`PhaseRunner`] only mutates between [`PhaseRunner::step`] calls,
+/// evicting a job at (or before) a batch boundary and resuming the same
+/// runner later replays the remaining iterations bit-identically — the
+/// checkpoint certifies *where* the phase was when the lease was recalled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCheckpoint {
+    /// The iterate at the checkpoint.
+    pub params: Vec<f64>,
+    /// Iterations completed in the phase so far.
+    pub iteration: usize,
+    /// Circuit executions the phase has consumed so far.
+    pub executions: u64,
+}
+
+impl PhaseCheckpoint {
+    /// Serializes the checkpoint to a self-describing little-endian byte
+    /// string (for audit logs or handing a lease record across processes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 8 * self.params.len());
+        out.extend_from_slice(&(self.iteration as u64).to_le_bytes());
+        out.extend_from_slice(&self.executions.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for p in &self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a checkpoint written by [`to_bytes`](Self::to_bytes).
+    /// Returns `None` on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let word = |i: usize| -> Option<[u8; 8]> { bytes.get(8 * i..8 * i + 8)?.try_into().ok() };
+        let iteration = usize::try_from(u64::from_le_bytes(word(0)?)).ok()?;
+        let executions = u64::from_le_bytes(word(1)?);
+        let n = usize::try_from(u64::from_le_bytes(word(2)?)).ok()?;
+        let expected = n.checked_mul(8).and_then(|b| b.checked_add(24))?;
+        if bytes.len() != expected {
+            return None;
+        }
+        let params = (0..n)
+            .map(|i| word(3 + i).map(f64::from_le_bytes))
+            .collect::<Option<Vec<f64>>>()?;
+        Some(PhaseCheckpoint {
+            params,
+            iteration,
+            executions,
+        })
+    }
+}
+
 /// One training phase driven batch-by-batch.
 ///
 /// # Examples
@@ -125,6 +180,15 @@ impl PhaseRunner {
         &self.params
     }
 
+    /// Snapshots the resume-relevant state at the current batch boundary.
+    pub fn checkpoint(&self) -> PhaseCheckpoint {
+        PhaseCheckpoint {
+            params: self.params.clone(),
+            iteration: self.trace.len(),
+            executions: self.executions,
+        }
+    }
+
     /// The trace accumulated so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -203,6 +267,27 @@ mod tests {
             runner.step(&mut eval);
         }
         assert_eq!(runner.trace().len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_tracks_progress_and_round_trips() {
+        let mut eval = evaluator();
+        let mut runner = PhaseRunner::new(vec![0.2, 0.3], ConvergenceConfig::strict(), 10, 4);
+        assert_eq!(runner.checkpoint().iteration, 0);
+        runner.step(&mut eval);
+        runner.step(&mut eval);
+        let ckpt = runner.checkpoint();
+        assert_eq!(ckpt.iteration, 2);
+        assert_eq!(ckpt.executions, 6);
+        assert_eq!(ckpt.params, runner.params());
+        let bytes = ckpt.to_bytes();
+        assert_eq!(PhaseCheckpoint::from_bytes(&bytes), Some(ckpt));
+        assert_eq!(PhaseCheckpoint::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(PhaseCheckpoint::from_bytes(&[]), None);
+        // A corrupt length word must not overflow the size check.
+        let mut corrupt = bytes.clone();
+        corrupt[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(PhaseCheckpoint::from_bytes(&corrupt), None);
     }
 
     #[test]

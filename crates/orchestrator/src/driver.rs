@@ -10,18 +10,20 @@
 //! the sequential scheduler bit for bit.
 
 use qoncord_core::executor::{build_lanes, DeviceLane, EvaluatorFactory, RejectedDevice};
-use qoncord_core::phase::PhaseRunner;
+use qoncord_core::phase::{PhaseCheckpoint, PhaseRunner};
 use qoncord_core::scheduler::{
     exploration_seed, finetune_seed, DeviceUsage, QoncordConfig, QoncordReport, RestartReport,
 };
 use qoncord_core::select_restarts;
 use qoncord_device::calibration::Calibration;
-use qoncord_vqa::restart::random_initial_points;
+use qoncord_vqa::restart::{
+    executions_for_iterations, random_initial_points, SPSA_EXECUTIONS_PER_ITERATION,
+};
 use std::collections::HashMap;
 
-/// SPSA consumes two perturbation evaluations plus one trace evaluation per
-/// iteration; used only for a-priori reservation-size estimates.
-pub(crate) const EXECUTIONS_PER_BATCH_ESTIMATE: f64 = 3.0;
+/// A-priori estimate of the circuit executions one batch consumes (SPSA's
+/// fixed per-iteration cost); used to size reservations before they run.
+pub(crate) const EXECUTIONS_PER_BATCH_ESTIMATE: f64 = SPSA_EXECUTIONS_PER_ITERATION as f64;
 
 /// A fleet device handed to a job's ladder construction.
 #[derive(Debug, Clone)]
@@ -168,10 +170,48 @@ impl JobDriver {
     /// block on the final rung (the size of a provisional reservation).
     pub(crate) fn finetune_hold_estimate(&self) -> (usize, f64) {
         let last = self.lanes.last().expect("non-empty ladder");
-        let secs = self.cfg.finetune_max_iterations as f64
-            * EXECUTIONS_PER_BATCH_ESTIMATE
+        let secs = executions_for_iterations(self.cfg.finetune_max_iterations) as f64
             * last.secs_per_execution;
         (last.fleet_index, secs)
+    }
+
+    /// Wall-clock seconds one circuit execution takes per fleet device (0.0
+    /// for devices outside the job's ladder) — the per-circuit cost vector
+    /// feasibility projections price the job's placements with.
+    pub(crate) fn seconds_per_execution_by_fleet(&self, n_devices: usize) -> Vec<f64> {
+        let mut secs = vec![0.0; n_devices];
+        for lane in &self.lanes {
+            secs[lane.fleet_index] = lane.secs_per_execution;
+        }
+        secs
+    }
+
+    /// The optimizer state the job would resume from if its pending batch
+    /// were granted and then recalled: the active phase's checkpoint, or a
+    /// parameter-only snapshot around an entropy-gate probe (probes carry no
+    /// phase state of their own).
+    pub(crate) fn checkpoint(&self) -> PhaseCheckpoint {
+        match &self.state {
+            DriverState::Exploring { runner, .. } => runner.checkpoint(),
+            DriverState::FineTuning {
+                stage: Stage::Train(runner),
+                ..
+            } => runner.checkpoint(),
+            DriverState::FineTuning {
+                stage: Stage::Probe,
+                pos,
+                ..
+            } => PhaseCheckpoint {
+                params: self.reports[*pos].final_params.clone(),
+                iteration: 0,
+                executions: 0,
+            },
+            DriverState::Done => PhaseCheckpoint {
+                params: Vec::new(),
+                iteration: 0,
+                executions: 0,
+            },
+        }
     }
 
     /// Fleet device the next batch needs, or `None` when the job is done.
@@ -545,6 +585,26 @@ mod tests {
         }
         assert_eq!(triages, 1, "triage runs exactly once");
         assert_eq!(pruned_total, 4, "TopK(2) of 6 restarts prunes 4");
+    }
+
+    #[test]
+    fn checkpoint_advances_with_batches() {
+        let mut driver = JobDriver::new(small_config(), 2, &factory(), &selected(), 1000).unwrap();
+        assert_eq!(driver.checkpoint().iteration, 0);
+        driver.execute_batch();
+        let ckpt = driver.checkpoint();
+        assert_eq!(ckpt.iteration, 1);
+        assert_eq!(ckpt.executions, SPSA_EXECUTIONS_PER_ITERATION);
+        assert!(!ckpt.params.is_empty());
+    }
+
+    #[test]
+    fn per_fleet_execution_times_follow_the_ladder() {
+        let driver = JobDriver::new(small_config(), 2, &factory(), &selected(), 1000).unwrap();
+        let secs = driver.seconds_per_execution_by_fleet(12);
+        assert!(secs[4] > 0.0, "exploration device priced");
+        assert!(secs[9] > 0.0, "fine-tune device priced");
+        assert_eq!(secs.iter().filter(|&&s| s > 0.0).count(), 2);
     }
 
     #[test]

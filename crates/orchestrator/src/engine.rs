@@ -1,6 +1,7 @@
 //! The multi-tenant orchestration engine: a discrete-event loop over a
 //! virtual clock in which every optimizer batch of every tenant's real
-//! training run is a device reservation on the shared fleet.
+//! training run is a preemptible device [`Lease`](crate::lease::Lease) on
+//! the shared fleet.
 //!
 //! Dispatch reuses the cloud layer directly: ladder selection per arriving
 //! job goes through [`qoncord_cloud::policy::place_job`] over live
@@ -9,20 +10,66 @@
 //! float; priorities enter as usage credit). When restart triage prunes a
 //! restart mid-flight, its provisional fine-tuning reservation is released
 //! for the other tenants.
+//!
+//! # Leases and preemption
+//!
+//! A granted batch occupies its device as a [`Lease`]: the batch's *real*
+//! compute is deferred to the lease's expiry, so until then the lease can be
+//! **evicted** — the device is handed to a more urgent tenant immediately,
+//! the recalled batch re-enters the fair-share queue with usage credit for
+//! the occupancy the eviction burned, and the victim later resumes from the
+//! [`PhaseRunner`](qoncord_core::phase::PhaseRunner) checkpoint the lease
+//! recorded. Results are bit-identical to an uncontended run; only wasted
+//! occupancy (telemetry: wasted-work seconds) is lost. Preemption is decided
+//! by [`Urgency::may_preempt`] whenever a batch request queues behind a
+//! running lease.
+//!
+//! # Admission control
+//!
+//! Jobs carrying a [`Deadline`](crate::admission::Deadline) are assessed on
+//! arrival: [`estimate_feasibility`] projects their completion from the
+//! current fleet load over the same placements the dispatch policy chose,
+//! and the [`AdmissionController`] admits, downgrades to best-effort, or
+//! rejects per [`AdmissionConfig`].
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::driver::{JobDriver, SelectedDevice};
 use crate::events::{Event, EventQueue};
 use crate::fleet::FleetDevice;
 use crate::job::TenantJob;
+use crate::lease::{LeaseLedger, LeaseTerms, Urgency};
 use crate::telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
 };
 use qoncord_cloud::device::CloudDevice;
 use qoncord_cloud::fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
-use qoncord_cloud::policy::{place_job, Policy};
+use qoncord_cloud::policy::{estimate_feasibility, place_job, Placement, Policy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
+
+/// Tuning of lease preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PreemptionConfig {
+    /// Whether urgent batch requests may evict running leases at all.
+    /// Disabled, the engine only ever waits for a lease to expire — the
+    /// pre-lease-manager behavior.
+    pub enabled: bool,
+    /// Extra seconds of headroom when judging deadline imminence: a job
+    /// counts as imminent once `now + remaining service estimate + margin`
+    /// reaches its deadline.
+    pub imminence_margin: f64,
+}
+
+impl PreemptionConfig {
+    /// Preemption switched on with default margins.
+    pub fn enabled() -> Self {
+        PreemptionConfig {
+            enabled: true,
+            ..PreemptionConfig::default()
+        }
+    }
+}
 
 /// Tuning of the orchestration engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +86,10 @@ pub struct OrchestratorConfig {
     /// Device-seconds of fair-share usage credit granted per priority
     /// level, so higher-priority jobs dequeue sooner.
     pub priority_credit: f64,
+    /// Lease-preemption tuning (disabled by default).
+    pub preemption: PreemptionConfig,
+    /// Deadline-aware admission control (admit-all by default).
+    pub admission: AdmissionConfig,
     /// Seed of the placement RNG (only randomized policies consume it).
     pub seed: u64,
 }
@@ -50,6 +101,8 @@ impl Default for OrchestratorConfig {
             weights: FairShareWeights::default(),
             shots: 1000,
             priority_credit: 50.0,
+            preemption: PreemptionConfig::default(),
+            admission: AdmissionConfig::default(),
             seed: 0x09C0,
         }
     }
@@ -133,21 +186,14 @@ impl Orchestrator {
     }
 }
 
-/// An in-flight lease: the granted batch occupying a device.
-struct Lease {
-    job: usize,
-    /// Virtual time the batch completes (its `BatchDone` event).
-    end: f64,
-    result: crate::driver::BatchResult,
-}
-
-/// Runtime state of one fleet device.
+/// Runtime accounting of one fleet device.
 struct DeviceState {
-    busy: Option<Lease>,
     /// Estimated seconds of queued-but-ungranted batch work (feeds the
     /// placement load view).
     pending_estimate: f64,
     busy_seconds: f64,
+    wasted_seconds: f64,
+    evictions: u64,
     executions: u64,
 }
 
@@ -157,6 +203,10 @@ enum Reservation {
         job: usize,
         device: usize,
         seconds: f64,
+        /// For a batch requeued by eviction: the evicted lease's recorded
+        /// checkpoint. The grant path verifies (in debug builds) that the
+        /// job resumes from exactly this state.
+        resume: Option<qoncord_core::phase::PhaseCheckpoint>,
     },
     /// A provisional hold for a restart's future fine-tuning block; never
     /// granted, released (or silently converted) at triage. The owning job
@@ -171,10 +221,20 @@ struct Sim<'a> {
     rng: StdRng,
     queue: FairShareQueue,
     devices: Vec<DeviceState>,
+    leases: LeaseLedger,
     events: EventQueue,
     drivers: Vec<Option<JobDriver>>,
     telemetry: Vec<JobTelemetry>,
     status: Vec<Option<JobStatus>>,
+    /// Per job: the priority it actually runs at (0 after a downgrade).
+    effective_priority: Vec<u32>,
+    /// Per job: the absolute deadline it carries post-admission.
+    deadlines: Vec<Option<f64>>,
+    /// Per job: the admission-time service estimate (for imminence checks).
+    service_estimate: Vec<f64>,
+    /// Per job: outstanding fair-share credit granted for evicted-lease
+    /// occupancy, charged back at completion so it cannot outlive the job.
+    eviction_credit: Vec<f64>,
     /// Per job: restart index → (reservation id, fleet device, estimated
     /// seconds).
     holds: Vec<HashMap<usize, (usize, usize, f64)>>,
@@ -202,12 +262,14 @@ impl<'a> Sim<'a> {
             devices: fleet
                 .iter()
                 .map(|_| DeviceState {
-                    busy: None,
                     pending_estimate: 0.0,
                     busy_seconds: 0.0,
+                    wasted_seconds: 0.0,
+                    evictions: 0,
                     executions: 0,
                 })
                 .collect(),
+            leases: LeaseLedger::new(fleet.len()),
             events,
             drivers: jobs.iter().map(|_| None).collect(),
             telemetry: jobs
@@ -215,6 +277,10 @@ impl<'a> Sim<'a> {
                 .map(|job| JobTelemetry::new(job.arrival, fleet.len()))
                 .collect(),
             status: jobs.iter().map(|_| None).collect(),
+            effective_priority: jobs.iter().map(|job| job.priority).collect(),
+            deadlines: jobs.iter().map(|_| None).collect(),
+            service_estimate: jobs.iter().map(|_| 0.0).collect(),
+            eviction_credit: jobs.iter().map(|_| 0.0).collect(),
             holds: jobs.iter().map(|_| HashMap::new()).collect(),
             reservations: HashMap::new(),
             next_reservation: 0,
@@ -226,7 +292,7 @@ impl<'a> Sim<'a> {
         while let Some((t, event)) = self.events.pop() {
             match event {
                 Event::Arrival(job) => self.admit(job, t),
-                Event::BatchDone(device) => self.on_batch_done(device, t),
+                Event::LeaseDone { device, lease } => self.on_lease_done(device, lease, t),
             }
         }
     }
@@ -240,9 +306,8 @@ impl<'a> Sim<'a> {
             .enumerate()
             .map(|(i, d)| {
                 let mut view = CloudDevice::new(i, d.advertised_fidelity(), d.speed());
-                let state = &self.devices[i];
-                let backlog = state.pending_estimate
-                    + state.busy.as_ref().map_or(0.0, |l| (l.end - now).max(0.0));
+                let backlog = self.devices[i].pending_estimate
+                    + self.leases.active(i).map_or(0.0, |l| l.remaining(now));
                 if backlog > 0.0 {
                     view.schedule(now, backlog);
                 }
@@ -256,10 +321,7 @@ impl<'a> Sim<'a> {
         let views = self.placement_views(now);
         // The policy only steers device choice here; circuit counts are an
         // a-priori estimate of the job's footprint.
-        let circuit_estimate = (spec.n_restarts as f64
-            * crate::driver::EXECUTIONS_PER_BATCH_ESTIMATE
-            * (spec.config.exploration_max_iterations + spec.config.finetune_max_iterations) as f64)
-            .round() as u64;
+        let circuit_estimate = spec.config.estimated_total_executions(spec.n_restarts);
         let placements = place_job(
             self.config.policy,
             &views,
@@ -278,7 +340,7 @@ impl<'a> Sim<'a> {
                 });
             }
         }
-        match JobDriver::new(
+        let driver = match JobDriver::new(
             spec.config.clone(),
             spec.n_restarts,
             spec.factory.as_ref(),
@@ -287,38 +349,87 @@ impl<'a> Sim<'a> {
         ) {
             Err(rejected) => {
                 self.status[job] = Some(JobStatus::Rejected { rejected });
+                return;
             }
-            Ok(driver) => {
-                if spec.priority > 0 {
-                    // Priorities enter fair-share as usage credit scoped to
-                    // the job's lifetime: granted on admission, charged back
-                    // at completion so it cannot leak onto later jobs.
-                    self.queue.record_usage(
-                        &spec.tenant,
-                        -(spec.priority as f64) * self.config.priority_credit,
-                    );
-                }
-                if driver.is_multi_device() {
-                    // Hold a provisional fine-tuning reservation per restart;
-                    // triage converts survivors and releases the rest.
-                    let (hold_device, hold_seconds) = driver.finetune_hold_estimate();
-                    for restart in 0..spec.n_restarts {
-                        let id = self.next_id();
-                        self.reservations.insert(id, Reservation::Hold);
-                        self.devices[hold_device].pending_estimate += hold_seconds;
-                        self.queue.push(QueuedRequest {
-                            id,
-                            user: spec.tenant.clone(),
-                            requested_seconds: hold_seconds,
-                            submitted_at: now,
-                        });
-                        self.holds[job].insert(restart, (id, hold_device, hold_seconds));
+            Ok(driver) => driver,
+        };
+
+        // Deadline-aware admission: project the job's completion from the
+        // fleet load its placements see, then let the controller decide.
+        // Placements on devices the fidelity filter rejected from the
+        // ladder carry no per-circuit price; their work actually lands on
+        // the ladder's entry rung, so reprice them there rather than at
+        // zero (which would let unkeepable SLAs through).
+        let secs = driver.seconds_per_execution_by_fleet(self.fleet.len());
+        let ladder_entry = driver
+            .current_device()
+            .expect("a fresh driver has a pending batch");
+        let priced: Vec<Placement> = placements
+            .iter()
+            .map(|p| {
+                if secs[p.device] > 0.0 {
+                    *p
+                } else {
+                    Placement {
+                        device: ladder_entry,
+                        ..*p
                     }
                 }
-                self.drivers[job] = Some(driver);
-                self.enqueue_next_batch(job, now);
+            })
+            .collect();
+        let estimate = estimate_feasibility(&priced, &views, &secs, now);
+        self.telemetry[job].admission_estimate = Some(estimate);
+        self.service_estimate[job] = estimate.service_seconds;
+        let outcome =
+            AdmissionController::new(self.config.admission).assess(now, spec.deadline, estimate);
+        match outcome.decision {
+            AdmissionDecision::Reject => {
+                self.status[job] = Some(JobStatus::Denied {
+                    estimate,
+                    deadline: outcome
+                        .assessed_deadline
+                        .expect("only deadline jobs are denied"),
+                });
+                return;
+            }
+            AdmissionDecision::Downgrade => {
+                self.effective_priority[job] = 0;
+                self.telemetry[job].downgraded = true;
+            }
+            AdmissionDecision::Admit => {}
+        }
+        self.deadlines[job] = outcome.deadline;
+        self.telemetry[job].deadline = outcome.deadline;
+
+        let priority = self.effective_priority[job];
+        if priority > 0 {
+            // Priorities enter fair-share as usage credit scoped to the
+            // job's lifetime: granted on admission, charged back at
+            // completion so it cannot leak onto later jobs.
+            self.queue.record_usage(
+                &spec.tenant,
+                -(priority as f64) * self.config.priority_credit,
+            );
+        }
+        if driver.is_multi_device() {
+            // Hold a provisional fine-tuning reservation per restart;
+            // triage converts survivors and releases the rest.
+            let (hold_device, hold_seconds) = driver.finetune_hold_estimate();
+            for restart in 0..spec.n_restarts {
+                let id = self.next_id();
+                self.reservations.insert(id, Reservation::Hold);
+                self.devices[hold_device].pending_estimate += hold_seconds;
+                self.queue.push(QueuedRequest {
+                    id,
+                    user: spec.tenant.clone(),
+                    requested_seconds: hold_seconds,
+                    submitted_at: now,
+                });
+                self.holds[job].insert(restart, (id, hold_device, hold_seconds));
             }
         }
+        self.drivers[job] = Some(driver);
+        self.enqueue_next_batch(job, now);
     }
 
     fn next_id(&mut self) -> usize {
@@ -328,7 +439,7 @@ impl<'a> Sim<'a> {
     }
 
     /// Queues the job's next batch request and offers the target device a
-    /// dispatch opportunity.
+    /// dispatch opportunity — by eviction if the request is urgent enough.
     fn enqueue_next_batch(&mut self, job: usize, now: f64) {
         let driver = self.drivers[job].as_ref().expect("active driver");
         let device = driver
@@ -342,6 +453,7 @@ impl<'a> Sim<'a> {
                 job,
                 device,
                 seconds,
+                resume: None,
             },
         );
         self.devices[device].pending_estimate += seconds;
@@ -352,52 +464,225 @@ impl<'a> Sim<'a> {
             submitted_at: now,
         });
         self.try_dispatch(device, now);
+        if self.leases.active(device).is_some() {
+            self.try_preempt(device, job, id, now);
+        }
     }
 
-    /// Grants the device its fair-share-best queued batch, if it is idle.
+    /// Grants the device its best queued batch, if it is idle: the
+    /// fair-share winner, unless preemption is enabled and a queued request
+    /// outranks it per [`Urgency::may_preempt`] — granting the winner only
+    /// for the urgent request to evict it in the same instant would be pure
+    /// churn, and a queued urgent request must never wait out a lease it is
+    /// entitled to evict.
     fn try_dispatch(&mut self, device: usize, now: f64) {
-        if self.devices[device].busy.is_some() {
+        if self.leases.active(device).is_some() {
             return;
         }
         let reservations = &self.reservations;
-        let Some(request) = self.queue.pop_where(|r| {
+        let Some(winner) = self.queue.pop_where(|r| {
             matches!(reservations.get(&r.id),
                 Some(Reservation::Batch { device: d, .. }) if *d == device)
         }) else {
             return;
         };
-        let Some(Reservation::Batch { job, seconds, .. }) = self.reservations.remove(&request.id)
+        let request = self.urgent_override(device, winner, now);
+        self.grant(request, now);
+    }
+
+    /// The most urgent queued batch request for `device` that may preempt
+    /// the fair-share `winner`, or the winner itself when none outranks it
+    /// (earliest queue position wins among equally urgent challengers).
+    fn urgent_override(&mut self, device: usize, winner: QueuedRequest, now: f64) -> QueuedRequest {
+        if !self.config.preemption.enabled {
+            return winner;
+        }
+        let Some(Reservation::Batch { job, .. }) = self.reservations.get(&winner.id) else {
+            unreachable!("dispatched requests are batch reservations");
+        };
+        let winner_urgency = self.urgency(*job, now);
+        let mut pick: Option<(usize, Urgency)> = None;
+        for request in self.queue.pending() {
+            let Some(Reservation::Batch { job, device: d, .. }) =
+                self.reservations.get(&request.id)
+            else {
+                continue;
+            };
+            if *d != device {
+                continue;
+            }
+            let urgency = self.urgency(*job, now);
+            if !urgency.may_preempt(&winner_urgency) {
+                continue;
+            }
+            if pick
+                .as_ref()
+                .is_none_or(|(_, best)| urgency.may_preempt(best))
+            {
+                pick = Some((request.id, urgency));
+            }
+        }
+        let Some((id, _)) = pick else {
+            return winner;
+        };
+        self.queue.push(winner);
+        self.queue
+            .pop_where(|r| r.id == id)
+            .expect("override candidate is queued")
+    }
+
+    /// Converts a popped batch request into a device lease. The batch's real
+    /// compute is deferred to the lease's expiry, which is what makes the
+    /// lease preemptible: until it expires, evicting it loses no training
+    /// progress.
+    fn grant(&mut self, request: QueuedRequest, now: f64) {
+        let Some(Reservation::Batch {
+            job,
+            device,
+            seconds,
+            resume,
+        }) = self.reservations.remove(&request.id)
         else {
-            unreachable!("predicate admits only batch reservations");
+            unreachable!("granted requests are batch reservations");
         };
         self.devices[device].pending_estimate =
             (self.devices[device].pending_estimate - seconds).max(0.0);
-        if self.telemetry[job].first_start.is_none() {
-            self.telemetry[job].first_start = Some(now);
+        let checkpoint = self.drivers[job]
+            .as_ref()
+            .expect("granted job is active")
+            .checkpoint();
+        if let Some(expected) = resume {
+            // An evicted batch must resume from exactly the optimizer state
+            // its recalled lease recorded — the losslessness contract.
+            debug_assert!(
+                expected == checkpoint,
+                "evicted job resumed from a different state than its lease checkpoint"
+            );
         }
-        // The batch's real compute runs now; only its virtual duration is
-        // deferred to the completion event.
+        let lease = self.leases.grant(
+            LeaseTerms {
+                job,
+                tenant: self.jobs[job].tenant.clone(),
+                device,
+                priority: self.effective_priority[job],
+                deadline: self.deadlines[job],
+                seconds,
+                checkpoint,
+            },
+            now,
+        );
+        let (end, id) = (lease.expires_at, lease.id);
+        self.events
+            .push(end, Event::LeaseDone { device, lease: id });
+    }
+
+    /// How pressing `job`'s claim on a device is right now.
+    fn urgency(&self, job: usize, now: f64) -> Urgency {
+        let deadline_imminent = match self.deadlines[job] {
+            None => false,
+            Some(deadline) => {
+                let done: f64 = self.telemetry[job].device_seconds.iter().sum();
+                let remaining = (self.service_estimate[job] - done).max(0.0);
+                now + remaining + self.config.preemption.imminence_margin >= deadline
+            }
+        };
+        Urgency {
+            priority: self.effective_priority[job],
+            deadline_imminent,
+        }
+    }
+
+    /// Evicts the running lease on `device` for `challenger`'s queued batch
+    /// request `reservation` if the challenger outranks the leaseholder —
+    /// preemption overrides fair-share, so the challenger is granted the
+    /// device directly.
+    fn try_preempt(&mut self, device: usize, challenger: usize, reservation: usize, now: f64) {
+        if !self.config.preemption.enabled {
+            return;
+        }
+        let Some(holder) = self.leases.active(device) else {
+            return;
+        };
+        // A lease at its expiry boundary is about to complete on its own;
+        // recalling it would waste the whole batch for nothing.
+        if holder.remaining(now) <= 0.0 {
+            return;
+        }
+        let holder_job = holder.job;
+        if !self
+            .urgency(challenger, now)
+            .may_preempt(&self.urgency(holder_job, now))
+        {
+            return;
+        }
+        self.evict(device, now);
+        let request = self
+            .queue
+            .pop_where(|r| r.id == reservation)
+            .expect("challenger's batch request is queued");
+        self.grant(request, now);
+    }
+
+    /// Recalls the running lease on `device`: the burned occupancy is
+    /// accounted as wasted work, and the victim's batch re-enters the
+    /// fair-share queue with usage credit for it. The victim's driver was
+    /// never advanced (compute is deferred), so it will resume from the
+    /// lease's checkpoint bit-identically.
+    fn evict(&mut self, device: usize, now: f64) {
+        let evicted = self.leases.evict(device, now);
+        let victim = evicted.lease.job;
+        self.devices[device].wasted_seconds += evicted.burned_seconds;
+        self.devices[device].evictions += 1;
+        self.telemetry[victim].evictions += 1;
+        self.telemetry[victim].wasted_seconds += evicted.burned_seconds;
+        self.eviction_credit[victim] += evicted.burned_seconds;
+        let id = self.next_id();
+        self.reservations.insert(
+            id,
+            Reservation::Batch {
+                job: victim,
+                device,
+                seconds: evicted.lease.seconds,
+                resume: Some(evicted.lease.checkpoint),
+            },
+        );
+        self.devices[device].pending_estimate += evicted.lease.seconds;
+        self.queue.requeue_with_credit(
+            QueuedRequest {
+                id,
+                user: evicted.lease.tenant.clone(),
+                requested_seconds: evicted.lease.seconds,
+                submitted_at: now,
+            },
+            evicted.burned_seconds,
+        );
+    }
+
+    fn on_lease_done(&mut self, device: usize, lease: u64, now: f64) {
+        // Expiry of an evicted lease: the device moved on, nothing to do.
+        let Some(lease) = self.leases.complete(device, lease) else {
+            return;
+        };
+        let job = lease.job;
+        // The batch's real compute runs now, at its virtual completion.
         let result = self.drivers[job]
             .as_mut()
             .expect("granted job is active")
             .execute_batch();
         debug_assert_eq!(result.fleet_index, device, "driver/queue device mismatch");
-        let end = now + result.duration;
-        self.events.push(end, Event::BatchDone(device));
-        self.devices[device].busy = Some(Lease { job, end, result });
-    }
-
-    fn on_batch_done(&mut self, device: usize, now: f64) {
-        let lease = self.devices[device]
-            .busy
-            .take()
-            .expect("completion event for an idle device");
-        let job = lease.job;
-        let result = lease.result;
+        debug_assert!(
+            (result.duration - lease.seconds).abs() < 1e-9,
+            "estimated and actual batch durations must agree"
+        );
         self.makespan = self.makespan.max(now);
         self.devices[device].busy_seconds += result.duration;
         self.devices[device].executions += result.executions;
         let telemetry = &mut self.telemetry[job];
+        // Time-to-first-service: the grant that actually delivered compute,
+        // not a grant preemption later revoked.
+        if telemetry.first_start.is_none() {
+            telemetry.first_start = Some(lease.granted_at);
+        }
         telemetry.device_seconds[device] += result.duration;
         telemetry.executions += result.executions;
         telemetry.cost += result.duration * self.fleet[device].cost_per_second();
@@ -410,12 +695,18 @@ impl<'a> Sim<'a> {
         if result.finished {
             self.telemetry[job].completion = Some(now);
             let spec = &self.jobs[job];
-            if spec.priority > 0 {
+            let priority = self.effective_priority[job];
+            if priority > 0 {
                 // Expire the job-scoped priority credit granted at admission.
-                self.queue.record_usage(
-                    &spec.tenant,
-                    spec.priority as f64 * self.config.priority_credit,
-                );
+                self.queue
+                    .record_usage(&spec.tenant, priority as f64 * self.config.priority_credit);
+            }
+            if self.eviction_credit[job] > 0.0 {
+                // Expire the eviction compensation the same way: it boosts
+                // the victim while it is still being delayed, but must not
+                // discount the tenant's later jobs.
+                self.queue
+                    .record_usage(&spec.tenant, self.eviction_credit[job]);
             }
             let report = self.drivers[job]
                 .take()
@@ -455,6 +746,8 @@ impl<'a> Sim<'a> {
             .map(|(spec, state)| DeviceTelemetry {
                 name: spec.name().to_owned(),
                 busy_seconds: state.busy_seconds,
+                wasted_seconds: state.wasted_seconds,
+                evictions: state.evictions,
                 executions: state.executions,
             })
             .collect();

@@ -9,8 +9,15 @@ use std::collections::BinaryHeap;
 pub(crate) enum Event {
     /// Job `.0` arrives.
     Arrival(usize),
-    /// The batch leased on device `.0` completes.
-    BatchDone(usize),
+    /// The lease `lease` on `device` expires (its batch completes). Stale
+    /// when the lease was evicted in the meantime — the engine drops
+    /// expiries whose lease id no longer matches the device's active lease.
+    LeaseDone {
+        /// Fleet device index.
+        device: usize,
+        /// Lease id the expiry belongs to.
+        lease: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -84,11 +91,15 @@ mod tests {
 
     #[test]
     fn pops_in_time_order_fifo_on_ties() {
+        let done = Event::LeaseDone {
+            device: 2,
+            lease: 9,
+        };
         let mut q = EventQueue::new();
         q.push(5.0, Event::Arrival(0));
-        q.push(1.0, Event::BatchDone(2));
+        q.push(1.0, done);
         q.push(5.0, Event::Arrival(1));
-        assert_eq!(q.pop(), Some((1.0, Event::BatchDone(2))));
+        assert_eq!(q.pop(), Some((1.0, done)));
         assert_eq!(q.pop(), Some((5.0, Event::Arrival(0))));
         assert_eq!(q.pop(), Some((5.0, Event::Arrival(1))));
         assert_eq!(q.pop(), None);

@@ -4,6 +4,39 @@
 
 use qoncord_device::calibration::Calibration;
 use qoncord_device::catalog;
+use std::fmt;
+
+/// Why a [`FleetDevice`] builder rejected a parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetDeviceError {
+    /// `speed` must be a positive finite number.
+    NonPositiveSpeed(f64),
+    /// `cost_per_second` must be a positive finite number.
+    NonPositiveCost(f64),
+    /// `advertised_fidelity` must lie in `(0, 1]`.
+    FidelityOutOfRange(f64),
+}
+
+impl fmt::Display for FleetDeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetDeviceError::NonPositiveSpeed(v) => {
+                write!(f, "speed must be a positive finite number, got {v}")
+            }
+            FleetDeviceError::NonPositiveCost(v) => {
+                write!(
+                    f,
+                    "cost per second must be a positive finite number, got {v}"
+                )
+            }
+            FleetDeviceError::FidelityOutOfRange(v) => {
+                write!(f, "advertised fidelity must lie in (0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetDeviceError {}
 
 /// One device of the shared fleet.
 ///
@@ -36,38 +69,45 @@ impl FleetDevice {
 
     /// Sets the relative speed (1.0 = reference, larger = faster).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `speed` is not positive.
-    pub fn with_speed(mut self, speed: f64) -> Self {
-        assert!(speed > 0.0, "speed must be positive");
+    /// Returns [`FleetDeviceError::NonPositiveSpeed`] when `speed` is zero,
+    /// negative, or not finite.
+    pub fn with_speed(mut self, speed: f64) -> Result<Self, FleetDeviceError> {
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(FleetDeviceError::NonPositiveSpeed(speed));
+        }
         self.speed = speed;
-        self
+        Ok(self)
     }
 
     /// Sets the lease price per device-second.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cost` is negative.
-    pub fn with_cost_per_second(mut self, cost: f64) -> Self {
-        assert!(cost >= 0.0, "cost must be non-negative");
+    /// Returns [`FleetDeviceError::NonPositiveCost`] when `cost` is zero,
+    /// negative, or not finite (a free device would make every cost
+    /// comparison in the placement policy degenerate).
+    pub fn with_cost_per_second(mut self, cost: f64) -> Result<Self, FleetDeviceError> {
+        if !(cost.is_finite() && cost > 0.0) {
+            return Err(FleetDeviceError::NonPositiveCost(cost));
+        }
         self.cost_per_second = cost;
-        self
+        Ok(self)
     }
 
     /// Overrides the advertised fidelity tier.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value is outside `(0, 1]`.
-    pub fn with_advertised_fidelity(mut self, fidelity: f64) -> Self {
-        assert!(
-            fidelity > 0.0 && fidelity <= 1.0,
-            "advertised fidelity in (0,1]"
-        );
+    /// Returns [`FleetDeviceError::FidelityOutOfRange`] when the value lies
+    /// outside `(0, 1]`.
+    pub fn with_advertised_fidelity(mut self, fidelity: f64) -> Result<Self, FleetDeviceError> {
+        if !(fidelity.is_finite() && fidelity > 0.0 && fidelity <= 1.0) {
+            return Err(FleetDeviceError::FidelityOutOfRange(fidelity));
+        }
         self.advertised_fidelity = fidelity;
-        self
+        Ok(self)
     }
 
     /// The device calibration.
@@ -104,7 +144,9 @@ pub fn two_lf_one_hf_fleet() -> Vec<FleetDevice> {
     vec![
         FleetDevice::new(catalog::ibmq_toronto().renamed("lf_east")),
         FleetDevice::new(catalog::ibmq_toronto().renamed("lf_west")),
-        FleetDevice::new(catalog::ibmq_kolkata().renamed("hf_core")).with_cost_per_second(8.0),
+        FleetDevice::new(catalog::ibmq_kolkata().renamed("hf_core"))
+            .with_cost_per_second(8.0)
+            .expect("positive reference price"),
     ]
 }
 
@@ -131,8 +173,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "speed")]
-    fn zero_speed_rejected() {
-        let _ = FleetDevice::new(catalog::ibmq_toronto()).with_speed(0.0);
+    fn invalid_builder_values_yield_typed_errors() {
+        let device = || FleetDevice::new(catalog::ibmq_toronto());
+        assert_eq!(
+            device().with_speed(0.0).unwrap_err(),
+            FleetDeviceError::NonPositiveSpeed(0.0)
+        );
+        assert!(matches!(
+            device().with_speed(f64::NAN).unwrap_err(),
+            FleetDeviceError::NonPositiveSpeed(v) if v.is_nan()
+        ));
+        assert_eq!(
+            device().with_cost_per_second(-1.0).unwrap_err(),
+            FleetDeviceError::NonPositiveCost(-1.0)
+        );
+        assert_eq!(
+            device().with_cost_per_second(0.0).unwrap_err(),
+            FleetDeviceError::NonPositiveCost(0.0),
+            "free devices are rejected, not silently accepted"
+        );
+        assert_eq!(
+            device().with_advertised_fidelity(1.5).unwrap_err(),
+            FleetDeviceError::FidelityOutOfRange(1.5)
+        );
+        assert_eq!(
+            device().with_advertised_fidelity(0.0).unwrap_err(),
+            FleetDeviceError::FidelityOutOfRange(0.0)
+        );
+        let err = device().with_speed(-2.0).unwrap_err();
+        assert!(err.to_string().contains("speed"), "display names the field");
+    }
+
+    #[test]
+    fn valid_builder_values_chain() {
+        let device = FleetDevice::new(catalog::ibmq_toronto())
+            .with_speed(2.0)
+            .and_then(|d| d.with_cost_per_second(4.0))
+            .and_then(|d| d.with_advertised_fidelity(0.75))
+            .expect("all values valid");
+        assert_eq!(device.speed(), 2.0);
+        assert_eq!(device.cost_per_second(), 4.0);
+        assert_eq!(device.advertised_fidelity(), 0.75);
     }
 }

@@ -2,6 +2,7 @@
 //! metadata (arrival time, priority, tenant identity) the orchestrator
 //! schedules by.
 
+use crate::admission::{Deadline, DeadlineClass};
 use qoncord_core::executor::EvaluatorFactory;
 use qoncord_core::scheduler::QoncordConfig;
 use std::fmt;
@@ -24,6 +25,11 @@ pub struct TenantJob {
     /// Dispatch priority: 0 = normal; higher values are granted device
     /// leases sooner (folded into fair-share as usage credit).
     pub priority: u32,
+    /// Service-level deadline, if any: an absolute virtual time or a class
+    /// resolved against the job's projected service time at admission. The
+    /// admission controller assesses it and preemption treats
+    /// deadline-imminent jobs as urgent.
+    pub deadline: Option<Deadline>,
     /// Number of random restarts.
     pub n_restarts: usize,
     /// Training configuration (budgets, convergence tiers, triage, seed).
@@ -54,6 +60,7 @@ impl TenantJob {
             tenant: tenant.into(),
             arrival,
             priority: 0,
+            deadline: None,
             n_restarts: 4,
             config: QoncordConfig::default(),
             factory,
@@ -63,6 +70,27 @@ impl TenantJob {
     /// Sets the dispatch priority.
     pub fn with_priority(mut self, priority: u32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline (virtual seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not finite or not after the arrival time.
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        assert!(
+            deadline.is_finite() && deadline > self.arrival,
+            "deadline must be a finite time after arrival"
+        );
+        self.deadline = Some(Deadline::At(deadline));
+        self
+    }
+
+    /// Sets a deadline class, resolved against the job's projected service
+    /// time when it is admitted.
+    pub fn with_deadline_class(mut self, class: DeadlineClass) -> Self {
+        self.deadline = Some(Deadline::Class(class));
         self
     }
 
@@ -91,6 +119,7 @@ impl fmt::Debug for TenantJob {
             .field("tenant", &self.tenant)
             .field("arrival", &self.arrival)
             .field("priority", &self.priority)
+            .field("deadline", &self.deadline)
             .field("n_restarts", &self.n_restarts)
             .field("config", &self.config)
             .finish_non_exhaustive()
@@ -121,6 +150,24 @@ mod tests {
         assert_eq!(job.priority, 2);
         assert_eq!(job.n_restarts, 6);
         assert!(format!("{job:?}").contains("alice"));
+    }
+
+    #[test]
+    fn deadline_builders() {
+        let job = TenantJob::new(0, "a", 5.0, factory()).with_deadline(9.0);
+        assert_eq!(job.deadline, Some(Deadline::At(9.0)));
+        let job =
+            TenantJob::new(1, "b", 0.0, factory()).with_deadline_class(DeadlineClass::Interactive);
+        assert_eq!(
+            job.deadline,
+            Some(Deadline::Class(DeadlineClass::Interactive))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn deadline_before_arrival_rejected() {
+        let _ = TenantJob::new(0, "a", 5.0, factory()).with_deadline(4.0);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Preemptible device leases.
+//!
+//! Every granted batch of the orchestration engine is an explicit [`Lease`]:
+//! who holds which device, at what priority, against which deadline, and —
+//! because the batch's real compute is deferred to the lease's expiry — the
+//! [`PhaseCheckpoint`] of the holder's optimizer state at grant time. A
+//! lease can therefore be *evicted* before it expires: the device is handed
+//! to a more urgent tenant, the recalled batch re-enters the fair-share
+//! queue carrying the lease's checkpoint, and when it is re-granted the
+//! engine verifies (in debug builds) that the victim resumes from exactly
+//! that state — bit-identically to a run that was never preempted. The only
+//! cost of an eviction is the wasted occupancy between grant and recall,
+//! which the [`LeaseLedger`] accounts as wasted-work seconds.
+//!
+//! Preemption eligibility is decided by [`Urgency::may_preempt`]: a
+//! higher-priority challenger may evict a lower-priority holder, and a
+//! deadline-imminent challenger may evict an equal-priority holder that is
+//! not itself deadline-imminent.
+
+use qoncord_core::phase::PhaseCheckpoint;
+
+/// One granted device reservation: a batch occupying a fleet device between
+/// [`granted_at`](Lease::granted_at) and [`expires_at`](Lease::expires_at),
+/// preemptible until it expires.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_core::phase::PhaseCheckpoint;
+/// use qoncord_orchestrator::lease::Lease;
+///
+/// let lease = Lease {
+///     id: 7,
+///     job: 2,
+///     tenant: "alice".to_owned(),
+///     device: 0,
+///     priority: 1,
+///     deadline: Some(40.0),
+///     granted_at: 10.0,
+///     expires_at: 16.0,
+///     seconds: 6.0,
+///     checkpoint: PhaseCheckpoint {
+///         params: vec![0.4, 1.3],
+///         iteration: 5,
+///         executions: 15,
+///     },
+/// };
+/// // Two seconds in, four seconds of the batch remain and two would be
+/// // wasted if the lease were evicted now.
+/// assert_eq!(lease.remaining(12.0), 4.0);
+/// assert_eq!(lease.held(12.0), 2.0);
+/// // The checkpoint records where the holder's phase was at grant time.
+/// assert_eq!(lease.checkpoint.iteration, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lease {
+    /// Unique, monotonically increasing lease id (never reused, so a stale
+    /// completion event for an evicted lease is detectable).
+    pub id: u64,
+    /// Index of the holding job.
+    pub job: usize,
+    /// Tenant of the holding job (fair-share identity).
+    pub tenant: String,
+    /// Fleet device the lease occupies.
+    pub device: usize,
+    /// Effective dispatch priority of the holder, as of the grant (a
+    /// snapshot of the terms — live preemption decisions re-evaluate the
+    /// holder's urgency at decision time).
+    pub priority: u32,
+    /// Absolute deadline of the holder at grant time, if it has an SLA.
+    pub deadline: Option<f64>,
+    /// Virtual time the lease was granted.
+    pub granted_at: f64,
+    /// Virtual time the granted batch completes if not evicted.
+    pub expires_at: f64,
+    /// Device-seconds the granted batch occupies.
+    pub seconds: f64,
+    /// The holder's optimizer state at grant time — what the job resumes
+    /// from if the lease is recalled.
+    pub checkpoint: PhaseCheckpoint,
+}
+
+impl Lease {
+    /// Seconds of the granted batch still outstanding at `now`.
+    pub fn remaining(&self, now: f64) -> f64 {
+        (self.expires_at - now).max(0.0)
+    }
+
+    /// Seconds the lease has occupied the device by `now` — the work wasted
+    /// if the lease is evicted at `now`.
+    pub fn held(&self, now: f64) -> f64 {
+        (now - self.granted_at).max(0.0)
+    }
+}
+
+/// How pressing a job's claim on a device is, for preemption decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Urgency {
+    /// Effective dispatch priority.
+    pub priority: u32,
+    /// Whether the job can no longer meet its deadline without immediate
+    /// service (remaining service estimate leaves no slack).
+    pub deadline_imminent: bool,
+}
+
+impl Urgency {
+    /// Whether a challenger with this urgency may evict `holder`'s lease:
+    /// strictly higher priority always may; a deadline-imminent challenger
+    /// may also evict an equal-priority holder that is not itself imminent.
+    pub fn may_preempt(&self, holder: &Urgency) -> bool {
+        self.priority > holder.priority
+            || (self.deadline_imminent
+                && !holder.deadline_imminent
+                && self.priority >= holder.priority)
+    }
+}
+
+/// A lease recalled before its batch completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictedLease {
+    /// The recalled lease.
+    pub lease: Lease,
+    /// Device-seconds of occupancy the eviction wasted (grant → recall).
+    pub burned_seconds: f64,
+}
+
+/// The terms of a lease grant (everything but the ledger-assigned id and
+/// timing).
+#[derive(Debug, Clone)]
+pub struct LeaseTerms {
+    /// Index of the job being granted.
+    pub job: usize,
+    /// Its tenant.
+    pub tenant: String,
+    /// Fleet device to occupy.
+    pub device: usize,
+    /// Effective dispatch priority.
+    pub priority: u32,
+    /// Absolute deadline, if the job has an SLA.
+    pub deadline: Option<f64>,
+    /// Device-seconds the batch needs.
+    pub seconds: f64,
+    /// The job's optimizer state at grant time.
+    pub checkpoint: PhaseCheckpoint,
+}
+
+/// The book of record for device leases: one active lease per device, plus
+/// grant/completion/eviction counters and wasted-work accounting.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseLedger {
+    active: Vec<Option<Lease>>,
+    next_id: u64,
+    granted: u64,
+    completed: u64,
+    evicted: u64,
+    wasted_seconds: f64,
+}
+
+impl LeaseLedger {
+    /// Creates a ledger over `n_devices` devices, all idle.
+    pub fn new(n_devices: usize) -> Self {
+        LeaseLedger {
+            active: vec![None; n_devices],
+            ..LeaseLedger::default()
+        }
+    }
+
+    /// The active lease on `device`, if any.
+    pub fn active(&self, device: usize) -> Option<&Lease> {
+        self.active[device].as_ref()
+    }
+
+    /// Grants a lease on `terms` at `now`, expiring after the batch's
+    /// duration. Returns the recorded lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device already has an active lease or the duration is
+    /// not a positive finite number.
+    pub fn grant(&mut self, terms: LeaseTerms, now: f64) -> &Lease {
+        assert!(
+            terms.seconds.is_finite() && terms.seconds > 0.0,
+            "lease duration must be a positive finite number"
+        );
+        assert!(
+            self.active[terms.device].is_none(),
+            "device {} already leased",
+            terms.device
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.granted += 1;
+        let lease = Lease {
+            id,
+            job: terms.job,
+            tenant: terms.tenant,
+            device: terms.device,
+            priority: terms.priority,
+            deadline: terms.deadline,
+            granted_at: now,
+            expires_at: now + terms.seconds,
+            seconds: terms.seconds,
+            checkpoint: terms.checkpoint,
+        };
+        self.active[terms.device] = Some(lease);
+        self.active[terms.device].as_ref().expect("just granted")
+    }
+
+    /// Completes the lease `id` on `device`, returning it — or `None` when
+    /// the lease was evicted in the meantime (a stale completion event),
+    /// leaving the device's current state untouched.
+    pub fn complete(&mut self, device: usize, id: u64) -> Option<Lease> {
+        if self.active[device].as_ref().is_some_and(|l| l.id == id) {
+            self.completed += 1;
+            self.active[device].take()
+        } else {
+            None
+        }
+    }
+
+    /// Evicts the active lease on `device` at `now`, accounting the
+    /// occupancy since its grant as wasted work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is idle.
+    pub fn evict(&mut self, device: usize, now: f64) -> EvictedLease {
+        let lease = self.active[device].take().expect("evicting an idle device");
+        let burned_seconds = lease.held(now);
+        self.evicted += 1;
+        self.wasted_seconds += burned_seconds;
+        EvictedLease {
+            lease,
+            burned_seconds,
+        }
+    }
+
+    /// Leases granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Leases that ran to completion.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Leases recalled by preemption.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total device-seconds of occupancy evictions wasted.
+    pub fn wasted_seconds(&self) -> f64 {
+        self.wasted_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(job: usize, device: usize, priority: u32, seconds: f64) -> LeaseTerms {
+        LeaseTerms {
+            job,
+            tenant: format!("tenant-{job}"),
+            device,
+            priority,
+            deadline: None,
+            seconds,
+            checkpoint: PhaseCheckpoint {
+                params: vec![0.1],
+                iteration: 0,
+                executions: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn grant_complete_round_trip() {
+        let mut ledger = LeaseLedger::new(2);
+        let id = ledger.grant(terms(0, 1, 0, 5.0), 10.0).id;
+        assert!(ledger.active(0).is_none());
+        assert_eq!(ledger.active(1).unwrap().expires_at, 15.0);
+        let done = ledger.complete(1, id).expect("live lease completes");
+        assert_eq!(done.job, 0);
+        assert!(ledger.active(1).is_none());
+        assert_eq!(
+            (ledger.granted(), ledger.completed(), ledger.evicted()),
+            (1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn eviction_burns_held_time_and_staleness_is_detected() {
+        let mut ledger = LeaseLedger::new(1);
+        let id = ledger.grant(terms(3, 0, 0, 10.0), 100.0).id;
+        let evicted = ledger.evict(0, 104.0);
+        assert_eq!(evicted.lease.id, id);
+        assert_eq!(evicted.burned_seconds, 4.0);
+        assert_eq!(ledger.wasted_seconds(), 4.0);
+        // The stale completion event for the evicted lease is a no-op...
+        assert_eq!(ledger.complete(0, id), None);
+        // ...even when another lease has since taken the device.
+        let id2 = ledger.grant(terms(4, 0, 2, 3.0), 104.0).id;
+        assert_eq!(ledger.complete(0, id), None);
+        assert!(ledger.complete(0, id2).is_some());
+        assert_eq!(ledger.evicted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already leased")]
+    fn double_grant_rejected() {
+        let mut ledger = LeaseLedger::new(1);
+        ledger.grant(terms(0, 0, 0, 1.0), 0.0);
+        ledger.grant(terms(1, 0, 0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn urgency_rules() {
+        let normal = Urgency {
+            priority: 0,
+            deadline_imminent: false,
+        };
+        let high = Urgency {
+            priority: 2,
+            deadline_imminent: false,
+        };
+        let imminent = Urgency {
+            priority: 0,
+            deadline_imminent: true,
+        };
+        assert!(high.may_preempt(&normal));
+        assert!(!normal.may_preempt(&high));
+        assert!(!normal.may_preempt(&normal), "equal urgency never preempts");
+        assert!(
+            imminent.may_preempt(&normal),
+            "deadline pressure breaks ties"
+        );
+        assert!(!imminent.may_preempt(&imminent), "both imminent: no churn");
+        assert!(
+            !imminent.may_preempt(&high),
+            "imminence cannot jump priority"
+        );
+        assert!(high.may_preempt(&imminent), "priority still dominates");
+    }
+}

@@ -10,41 +10,63 @@
 //! - `qoncord-core` trains one job at a time against private device lanes;
 //! - `qoncord-cloud` simulates queues over abstract job durations.
 //!
-//! Here every optimizer batch of every tenant becomes a device reservation,
-//! so low-fidelity exploration, cluster triage, and high-fidelity
+//! Here every optimizer batch of every tenant becomes a preemptible device
+//! lease, so low-fidelity exploration, cluster triage, and high-fidelity
 //! fine-tuning from different tenants interleave on real shared hardware
 //! models. The pieces:
 //!
-//! - [`job`] — tenant job specs (arrival, priority, restarts, workload).
+//! - [`job`] — tenant job specs (arrival, priority, deadline, restarts,
+//!   workload).
 //! - [`fleet`] — the shared fleet: calibrations + market metadata.
+//! - [`lease`] — explicit device leases: priority, deadline, checkpointed
+//!   optimizer state, and the eviction/wasted-work ledger behind
+//!   preemption.
+//! - [`admission`] — deadline-aware admission control: feasibility
+//!   projections from fleet load decide whether a job's SLA is keepable,
+//!   downgrading or rejecting it otherwise.
 //! - [`engine`] — the event loop: fair-share lease dispatch (reusing
 //!   [`qoncord_cloud::fairshare`]), ladder selection per arrival (reusing
-//!   [`qoncord_cloud::policy::place_job`]), and pruning-aware cancellation
-//!   of reservations when restart triage kills work mid-flight.
-//! - [`telemetry`] — per-job wait/makespan/device-seconds/cost and fleet
+//!   [`qoncord_cloud::policy::place_job`]), urgency-based lease preemption,
+//!   and pruning-aware cancellation of reservations when restart triage
+//!   kills work mid-flight.
+//! - [`replay`] — adapts [`qoncord_cloud::workload`] arrival traces into
+//!   tenant jobs so the paper's pseudo-workload drives the orchestrator.
+//! - [`telemetry`] — per-job wait/makespan/device-seconds/cost, eviction
+//!   and wasted-work accounting, per-tenant SLA attainment, and fleet
 //!   utilization.
 //!
 //! Per-job numeric results are **identical** to the closed-loop
 //! [`qoncord_core::scheduler::QoncordScheduler`] given the same ladder and
-//! seeds — multi-tenancy changes only the timing, which is the point: the
-//! fleet makespan of N concurrent jobs is strictly below the sum of their
-//! solo makespans.
+//! seeds — multi-tenancy *and preemption* change only the timing, which is
+//! the point: the fleet makespan of N concurrent jobs is strictly below the
+//! sum of their solo makespans, and an evicted job resumes from its
+//! checkpoint bit-identically.
 
 #![warn(missing_docs)]
 
 mod driver;
 mod events;
 
+pub mod admission;
 pub mod engine;
 pub mod fleet;
 pub mod job;
+pub mod lease;
+pub mod replay;
 pub mod telemetry;
 
-pub use engine::{Orchestrator, OrchestratorConfig};
-pub use fleet::{two_lf_one_hf_fleet, FleetDevice};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionOutcome,
+    Deadline, DeadlineClass,
+};
+pub use engine::{Orchestrator, OrchestratorConfig, PreemptionConfig};
+pub use fleet::{two_lf_one_hf_fleet, FleetDevice, FleetDeviceError};
 pub use job::TenantJob;
+pub use lease::{EvictedLease, Lease, LeaseLedger, LeaseTerms, Urgency};
+pub use replay::{replay_workload, ReplayConfig};
 pub use telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
+    TenantSla,
 };
 
 #[cfg(test)]
@@ -263,6 +285,149 @@ mod tests {
                 y.status.report().map(|r| r.best_expectation())
             );
         }
+    }
+
+    /// A single-HF-device arena where job 1 arrives an instant after job 0
+    /// has been granted the device, so it lands mid-lease.
+    fn contended_pair(preempt: bool, shape: impl Fn(TenantJob) -> TenantJob) -> OrchestratorReport {
+        let fleet = vec![two_lf_one_hf_fleet().remove(2)];
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                policy: Policy::BestFidelity,
+                preemption: if preempt {
+                    PreemptionConfig::enabled()
+                } else {
+                    PreemptionConfig::default()
+                },
+                ..OrchestratorConfig::default()
+            },
+            fleet,
+        );
+        orch.run(&[job(0, 0.0, 1), shape(job(1, 1e-4, 2))])
+    }
+
+    #[test]
+    fn preemption_cuts_a_priority_arrivals_wait() {
+        let np = contended_pair(false, |j| j.with_priority(3));
+        let p = contended_pair(true, |j| j.with_priority(3));
+        assert_eq!(np.completed(), 2);
+        assert_eq!(p.completed(), 2);
+        let wait = |r: &OrchestratorReport, i: usize| r.jobs[i].telemetry.wait_time().unwrap();
+        assert!(
+            wait(&np, 1) > 0.0,
+            "without preemption the arrival waits out the running lease"
+        );
+        assert_eq!(wait(&p, 1), 0.0, "eviction grants the device immediately");
+        assert!(p.total_evictions() >= 1);
+        assert!(p.jobs[0].telemetry.evictions >= 1, "job 0 was the victim");
+        assert!(p.jobs[0].telemetry.wasted_seconds > 0.0);
+        assert!(p.total_wasted_seconds() > 0.0);
+        // The victim's training outcome is untouched by the eviction.
+        let best = |r: &OrchestratorReport, i: usize| {
+            r.jobs[i].status.report().unwrap().best_expectation()
+        };
+        assert_eq!(best(&p, 0), best(&np, 0));
+        assert_eq!(best(&p, 1), best(&np, 1));
+        // Useful work is still conserved; only wasted occupancy is extra.
+        let fleet_busy: f64 = p.fleet.devices.iter().map(|d| d.busy_seconds).sum();
+        assert!((fleet_busy - p.sequential_makespan()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadline_pressure_preempts_equal_priority_leases() {
+        // Both jobs are priority 0; the arrival's absurdly tight (but
+        // formally valid) deadline makes it deadline-imminent on arrival,
+        // which outranks a deadline-free holder of equal priority.
+        let np = contended_pair(false, |j| j.with_deadline(2e-4));
+        let p = contended_pair(true, |j| j.with_deadline(2e-4));
+        assert!(p.total_evictions() >= 1, "imminence alone must evict");
+        let wait = |r: &OrchestratorReport, i: usize| r.jobs[i].telemetry.wait_time().unwrap();
+        assert!(wait(&p, 1) < wait(&np, 1));
+        assert_eq!(
+            p.jobs[1].telemetry.sla_met(),
+            Some(false),
+            "the impossible deadline is still missed — admission, not preemption, owns that"
+        );
+    }
+
+    #[test]
+    fn preemption_disabled_never_evicts() {
+        let np = contended_pair(false, |j| j.with_priority(9).with_deadline(2e-4));
+        assert_eq!(np.total_evictions(), 0);
+        assert_eq!(np.total_wasted_seconds(), 0.0);
+    }
+
+    #[test]
+    fn admission_reject_denies_infeasible_deadlines() {
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                admission: AdmissionConfig {
+                    mode: AdmissionMode::Reject,
+                    safety_margin: 0.0,
+                },
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        );
+        let report = orch.run(&[job(0, 0.0, 1).with_deadline(1e-9), job(1, 0.0, 2)]);
+        assert_eq!(report.denied(), 1);
+        assert_eq!(report.completed(), 1, "the deadline-free job still runs");
+        assert!(report.jobs[0].status.is_denied());
+        assert_eq!(
+            report.jobs[0].telemetry.executions, 0,
+            "denied jobs never run"
+        );
+        match &report.jobs[0].status {
+            JobStatus::Denied { estimate, deadline } => {
+                assert_eq!(*deadline, 1e-9);
+                assert!(estimate.completion > *deadline);
+            }
+            other => panic!("expected Denied, got {other:?}"),
+        }
+        let sla = report.tenant_sla();
+        assert_eq!(sla[0].denied, 1);
+    }
+
+    #[test]
+    fn admission_downgrade_runs_best_effort() {
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                admission: AdmissionConfig {
+                    mode: AdmissionMode::Downgrade,
+                    safety_margin: 0.0,
+                },
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        );
+        let report = orch.run(&[job(0, 0.0, 1).with_deadline(1e-9).with_priority(4)]);
+        assert_eq!(report.completed(), 1);
+        let t = &report.jobs[0].telemetry;
+        assert!(t.downgraded);
+        assert_eq!(t.deadline, None, "the unkeepable SLA was stripped");
+        assert_eq!(t.sla_met(), None);
+        assert_eq!(report.sla_attainment(), None);
+        assert_eq!(report.tenant_sla()[0].downgraded, 1);
+    }
+
+    #[test]
+    fn feasible_deadlines_are_admitted_and_attained() {
+        let orch = Orchestrator::new(
+            OrchestratorConfig {
+                admission: AdmissionConfig {
+                    mode: AdmissionMode::Reject,
+                    safety_margin: 0.0,
+                },
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        );
+        let report = orch.run(&[job(0, 0.0, 1).with_deadline(1e9)]);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.jobs[0].telemetry.sla_met(), Some(true));
+        assert_eq!(report.sla_attainment(), Some(1.0));
+        let estimate = report.jobs[0].telemetry.admission_estimate.unwrap();
+        assert!(estimate.service_seconds > 0.0);
     }
 
     #[test]

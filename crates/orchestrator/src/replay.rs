@@ -1,0 +1,172 @@
+//! Workload-trace replay: drive the orchestrator with the paper's Sec. V-F
+//! pseudo-workload.
+//!
+//! [`qoncord_cloud::workload::generate_workload`] produces [`JobSpec`]s —
+//! abstract arrival times, job shapes, and a VQA flag — for the queue
+//! *simulator*. This adapter converts them into [`TenantJob`]s running real
+//! training workloads, so the same arrival trace can exercise the
+//! orchestrator: arrival times carry over verbatim, the VQA flag picks the
+//! deadline class (sessions are throughput work, independent tasks are
+//! latency-sensitive), and independent tasks additionally get a dispatch
+//! priority so the preemptive engine has something to preempt *for*.
+
+use crate::admission::DeadlineClass;
+use crate::job::TenantJob;
+use qoncord_cloud::job::JobSpec;
+use qoncord_core::executor::EvaluatorFactory;
+use qoncord_core::scheduler::QoncordConfig;
+
+/// Tuning of the trace replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Size of the tenant pool; job `id % tenants` names the submitter.
+    pub tenants: usize,
+    /// Base training configuration; each job's seed is derived from it and
+    /// the job id so replayed runs differ per job but stay deterministic.
+    pub training: QoncordConfig,
+    /// Restart count for replayed VQA sessions (independent tasks replay as
+    /// single-restart jobs, the smallest real workload).
+    pub session_restarts: usize,
+    /// Dispatch priority of latency-sensitive (non-VQA) jobs.
+    pub interactive_priority: u32,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            tenants: 4,
+            training: QoncordConfig::default(),
+            session_restarts: 3,
+            interactive_priority: 2,
+        }
+    }
+}
+
+/// Converts a generated workload trace into orchestrator jobs: one
+/// [`TenantJob`] per [`JobSpec`], preserving arrival order, with
+/// `factory` building each job's training workload.
+///
+/// # Panics
+///
+/// Panics if the tenant pool or session restart count is zero.
+pub fn replay_workload(
+    specs: &[JobSpec],
+    config: &ReplayConfig,
+    mut factory: impl FnMut(&JobSpec) -> Box<dyn EvaluatorFactory>,
+) -> Vec<TenantJob> {
+    assert!(config.tenants > 0, "need at least one tenant");
+    assert!(config.session_restarts > 0, "need at least one restart");
+    specs
+        .iter()
+        .map(|spec| {
+            let (class, priority, restarts) = if spec.is_vqa {
+                (DeadlineClass::Batch, 0, config.session_restarts)
+            } else {
+                (DeadlineClass::Interactive, config.interactive_priority, 1)
+            };
+            let training = QoncordConfig {
+                seed: config
+                    .training
+                    .seed
+                    .wrapping_add((spec.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..config.training.clone()
+            };
+            TenantJob::new(
+                spec.id,
+                format!("user-{}", spec.id % config.tenants),
+                spec.arrival,
+                factory(spec),
+            )
+            .with_restarts(restarts)
+            .with_priority(priority)
+            .with_config(training)
+            .with_deadline_class(class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Deadline;
+    use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+    use qoncord_core::executor::QaoaFactory;
+    use qoncord_vqa::graph::Graph;
+    use qoncord_vqa::maxcut::MaxCut;
+
+    fn specs(vqa_ratio: f64) -> Vec<JobSpec> {
+        generate_workload(&WorkloadConfig {
+            n_jobs: 24,
+            vqa_ratio,
+            seed: 7,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn factory(_: &JobSpec) -> Box<dyn EvaluatorFactory> {
+        Box::new(QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        })
+    }
+
+    #[test]
+    fn replay_preserves_arrivals_and_maps_classes() {
+        let specs = specs(0.5);
+        let jobs = replay_workload(&specs, &ReplayConfig::default(), factory);
+        assert_eq!(jobs.len(), specs.len());
+        for (job, spec) in jobs.iter().zip(&specs) {
+            assert_eq!(job.id, spec.id);
+            assert_eq!(job.arrival, spec.arrival);
+            if spec.is_vqa {
+                assert_eq!(job.deadline, Some(Deadline::Class(DeadlineClass::Batch)));
+                assert_eq!(job.priority, 0);
+                assert_eq!(job.n_restarts, 3);
+            } else {
+                assert_eq!(
+                    job.deadline,
+                    Some(Deadline::Class(DeadlineClass::Interactive))
+                );
+                assert_eq!(job.priority, 2);
+                assert_eq!(job.n_restarts, 1);
+            }
+        }
+        assert!(
+            jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "arrival order preserved"
+        );
+    }
+
+    #[test]
+    fn replay_cycles_the_tenant_pool_and_varies_seeds() {
+        let specs = specs(1.0);
+        let jobs = replay_workload(
+            &specs,
+            &ReplayConfig {
+                tenants: 3,
+                ..ReplayConfig::default()
+            },
+            factory,
+        );
+        assert_eq!(jobs[0].tenant, "user-0");
+        assert_eq!(jobs[1].tenant, "user-1");
+        assert_eq!(jobs[3].tenant, "user-0");
+        let tenants: std::collections::HashSet<&str> =
+            jobs.iter().map(|j| j.tenant.as_str()).collect();
+        assert_eq!(tenants.len(), 3);
+        assert_ne!(jobs[0].config.seed, jobs[1].config.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant")]
+    fn zero_tenants_rejected() {
+        replay_workload(
+            &specs(0.5),
+            &ReplayConfig {
+                tenants: 0,
+                ..ReplayConfig::default()
+            },
+            factory,
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! Per-job and fleet-level telemetry of an orchestration run: wait times,
-//! makespans, device-seconds, lease cost, and released reservations.
+//! makespans, device-seconds, lease cost, released reservations, eviction
+//! counts, wasted-work seconds, and SLA attainment.
 
+use qoncord_cloud::policy::FeasibilityEstimate;
 use qoncord_core::executor::RejectedDevice;
 use qoncord_core::scheduler::QoncordReport;
 
@@ -13,6 +15,15 @@ pub struct JobTelemetry {
     pub first_start: Option<f64>,
     /// When the last batch completed (None if the job never finished).
     pub completion: Option<f64>,
+    /// Absolute deadline the job ran under, post-admission (None for
+    /// best-effort jobs, including downgraded ones).
+    pub deadline: Option<f64>,
+    /// Whether admission control stripped an unkeepable deadline and ran
+    /// the job as best-effort.
+    pub downgraded: bool,
+    /// The admission-time projection of the job's completion from fleet
+    /// load (recorded for every job that reached admission).
+    pub admission_estimate: Option<FeasibilityEstimate>,
     /// Device-seconds leased, per fleet device index.
     pub device_seconds: Vec<f64>,
     /// Circuit executions consumed across the fleet.
@@ -23,6 +34,10 @@ pub struct JobTelemetry {
     pub released_reservations: usize,
     /// Device-seconds those released reservations had claimed.
     pub released_seconds: f64,
+    /// Times one of the job's leases was evicted by a more urgent tenant.
+    pub evictions: usize,
+    /// Device-seconds of lease occupancy those evictions wasted.
+    pub wasted_seconds: f64,
 }
 
 impl JobTelemetry {
@@ -31,11 +46,16 @@ impl JobTelemetry {
             arrival,
             first_start: None,
             completion: None,
+            deadline: None,
+            downgraded: false,
+            admission_estimate: None,
             device_seconds: vec![0.0; n_devices],
             executions: 0,
             cost: 0.0,
             released_reservations: 0,
             released_seconds: 0.0,
+            evictions: 0,
+            wasted_seconds: 0.0,
         }
     }
 
@@ -54,6 +74,15 @@ impl JobTelemetry {
     pub fn busy_seconds(&self) -> f64 {
         self.device_seconds.iter().sum()
     }
+
+    /// Whether the job met its deadline: `Some(true/false)` when it ran
+    /// under one and completed, `None` for best-effort or unfinished jobs.
+    pub fn sla_met(&self) -> Option<bool> {
+        match (self.deadline, self.completion) {
+            (Some(deadline), Some(completion)) => Some(completion <= deadline),
+            _ => None,
+        }
+    }
 }
 
 /// How a job ended.
@@ -70,6 +99,14 @@ pub enum JobStatus {
         /// The rejected devices and reasons.
         rejected: Vec<RejectedDevice>,
     },
+    /// Admission control declined the job: the fleet-load projection said
+    /// its deadline could not be met.
+    Denied {
+        /// The projection that condemned it.
+        estimate: FeasibilityEstimate,
+        /// The deadline it could not meet.
+        deadline: f64,
+    },
 }
 
 impl JobStatus {
@@ -78,11 +115,16 @@ impl JobStatus {
         matches!(self, JobStatus::Completed { .. })
     }
 
+    /// Whether admission control denied the job.
+    pub fn is_denied(&self) -> bool {
+        matches!(self, JobStatus::Denied { .. })
+    }
+
     /// The training report, if the job completed.
     pub fn report(&self) -> Option<&QoncordReport> {
         match self {
             JobStatus::Completed { report } => Some(report),
-            JobStatus::Rejected { .. } => None,
+            JobStatus::Rejected { .. } | JobStatus::Denied { .. } => None,
         }
     }
 }
@@ -94,7 +136,8 @@ pub struct JobRecord {
     pub id: usize,
     /// Submitting tenant.
     pub tenant: String,
-    /// Dispatch priority.
+    /// Dispatch priority (as submitted; see
+    /// [`JobTelemetry::downgraded`] for jobs admission stripped it from).
     pub priority: u32,
     /// How the job ended.
     pub status: JobStatus,
@@ -109,6 +152,10 @@ pub struct DeviceTelemetry {
     pub name: String,
     /// Seconds the device spent executing leased batches.
     pub busy_seconds: f64,
+    /// Seconds of lease occupancy evictions wasted on this device.
+    pub wasted_seconds: f64,
+    /// Leases recalled from this device by preemption.
+    pub evictions: u64,
     /// Circuit executions completed.
     pub executions: u64,
 }
@@ -133,6 +180,45 @@ impl FleetTelemetry {
     pub fn mean_utilization(&self) -> f64 {
         let busy: Vec<f64> = self.devices.iter().map(|d| d.busy_seconds).collect();
         qoncord_cloud::sim::mean_utilization(&busy, self.makespan)
+    }
+
+    /// Leases recalled by preemption across the fleet.
+    pub fn total_evictions(&self) -> u64 {
+        self.devices.iter().map(|d| d.evictions).sum()
+    }
+
+    /// Device-seconds evictions wasted across the fleet.
+    pub fn total_wasted_seconds(&self) -> f64 {
+        self.devices.iter().map(|d| d.wasted_seconds).sum()
+    }
+}
+
+/// Per-tenant service-quality rollup of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSla {
+    /// The tenant.
+    pub tenant: String,
+    /// Jobs the tenant submitted.
+    pub jobs: usize,
+    /// Jobs that ran under a deadline and completed.
+    pub with_deadline: usize,
+    /// Of those, jobs that met their deadline.
+    pub met: usize,
+    /// Jobs admission control denied outright.
+    pub denied: usize,
+    /// Jobs admitted only after their deadline was stripped.
+    pub downgraded: usize,
+    /// Lease evictions the tenant's jobs suffered.
+    pub evictions: usize,
+    /// Device-seconds of the tenant's lease occupancy evictions wasted.
+    pub wasted_seconds: f64,
+}
+
+impl TenantSla {
+    /// Fraction of the tenant's deadline jobs that met their deadline
+    /// (`None` when it had none).
+    pub fn attainment(&self) -> Option<f64> {
+        (self.with_deadline > 0).then(|| self.met as f64 / self.with_deadline as f64)
     }
 }
 
@@ -189,6 +275,66 @@ impl OrchestratorReport {
     pub fn completed(&self) -> usize {
         self.jobs.iter().filter(|j| j.status.is_completed()).count()
     }
+
+    /// Number of jobs admission control denied.
+    pub fn denied(&self) -> usize {
+        self.jobs.iter().filter(|j| j.status.is_denied()).count()
+    }
+
+    /// Lease evictions across the run.
+    pub fn total_evictions(&self) -> u64 {
+        self.fleet.total_evictions()
+    }
+
+    /// Device-seconds of occupancy evictions wasted across the run.
+    pub fn total_wasted_seconds(&self) -> f64 {
+        self.fleet.total_wasted_seconds()
+    }
+
+    /// Fraction of deadline-carrying completed jobs that met their deadline
+    /// (`None` when no job ran under a deadline).
+    pub fn sla_attainment(&self) -> Option<f64> {
+        let verdicts: Vec<bool> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.telemetry.sla_met())
+            .collect();
+        (!verdicts.is_empty())
+            .then(|| verdicts.iter().filter(|&&m| m).count() as f64 / verdicts.len() as f64)
+    }
+
+    /// Per-tenant service-quality rollups, in order of first submission.
+    pub fn tenant_sla(&self) -> Vec<TenantSla> {
+        let mut rollups: Vec<TenantSla> = Vec::new();
+        for job in &self.jobs {
+            let entry = match rollups.iter_mut().find(|t| t.tenant == job.tenant) {
+                Some(entry) => entry,
+                None => {
+                    rollups.push(TenantSla {
+                        tenant: job.tenant.clone(),
+                        jobs: 0,
+                        with_deadline: 0,
+                        met: 0,
+                        denied: 0,
+                        downgraded: 0,
+                        evictions: 0,
+                        wasted_seconds: 0.0,
+                    });
+                    rollups.last_mut().expect("just pushed")
+                }
+            };
+            entry.jobs += 1;
+            if let Some(met) = job.telemetry.sla_met() {
+                entry.with_deadline += 1;
+                entry.met += usize::from(met);
+            }
+            entry.denied += usize::from(job.status.is_denied());
+            entry.downgraded += usize::from(job.telemetry.downgraded);
+            entry.evictions += job.telemetry.evictions;
+            entry.wasted_seconds += job.telemetry.wasted_seconds;
+        }
+        rollups
+    }
 }
 
 #[cfg(test)]
@@ -199,12 +345,18 @@ mod tests {
     fn job_telemetry_derived_metrics() {
         let mut t = JobTelemetry::new(5.0, 2);
         assert_eq!(t.wait_time(), None);
+        assert_eq!(t.sla_met(), None);
         t.first_start = Some(7.5);
         t.completion = Some(20.0);
         t.device_seconds = vec![3.0, 4.0];
         assert_eq!(t.wait_time(), Some(2.5));
         assert_eq!(t.turnaround(), Some(15.0));
         assert_eq!(t.busy_seconds(), 7.0);
+        assert_eq!(t.sla_met(), None, "no deadline, no verdict");
+        t.deadline = Some(25.0);
+        assert_eq!(t.sla_met(), Some(true));
+        t.deadline = Some(19.0);
+        assert_eq!(t.sla_met(), Some(false));
     }
 
     #[test]
@@ -214,11 +366,15 @@ mod tests {
                 DeviceTelemetry {
                     name: "a".into(),
                     busy_seconds: 5.0,
+                    wasted_seconds: 0.0,
+                    evictions: 0,
                     executions: 10,
                 },
                 DeviceTelemetry {
                     name: "b".into(),
                     busy_seconds: 10.0,
+                    wasted_seconds: 2.5,
+                    evictions: 3,
                     executions: 20,
                 },
             ],
@@ -226,10 +382,55 @@ mod tests {
         };
         assert_eq!(fleet.utilization(), vec![0.5, 1.0]);
         assert!((fleet.mean_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(fleet.total_evictions(), 3);
+        assert!((fleet.total_wasted_seconds() - 2.5).abs() < 1e-12);
         let idle = FleetTelemetry {
             devices: fleet.devices.clone(),
             makespan: 0.0,
         };
         assert_eq!(idle.utilization(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tenant_rollups_group_and_count() {
+        let record = |tenant: &str, deadline, completion, evictions| {
+            let mut telemetry = JobTelemetry::new(0.0, 1);
+            telemetry.deadline = deadline;
+            telemetry.completion = completion;
+            telemetry.evictions = evictions;
+            JobRecord {
+                id: 0,
+                tenant: tenant.into(),
+                priority: 0,
+                status: JobStatus::Completed {
+                    report: QoncordReport {
+                        restarts: vec![],
+                        devices: vec![],
+                        rejected: vec![],
+                        ground_energy: 0.0,
+                    },
+                },
+                telemetry,
+            }
+        };
+        let report = OrchestratorReport {
+            jobs: vec![
+                record("a", Some(10.0), Some(8.0), 1),
+                record("b", None, Some(5.0), 0),
+                record("a", Some(10.0), Some(12.0), 2),
+            ],
+            fleet: FleetTelemetry {
+                devices: vec![],
+                makespan: 12.0,
+            },
+        };
+        let sla = report.tenant_sla();
+        assert_eq!(sla.len(), 2);
+        assert_eq!(sla[0].tenant, "a");
+        assert_eq!((sla[0].jobs, sla[0].with_deadline, sla[0].met), (2, 2, 1));
+        assert_eq!(sla[0].evictions, 3);
+        assert_eq!(sla[0].attainment(), Some(0.5));
+        assert_eq!(sla[1].attainment(), None);
+        assert_eq!(report.sla_attainment(), Some(0.5));
     }
 }

@@ -78,6 +78,23 @@ pub struct TrainingResult {
     pub executions: u64,
 }
 
+/// Circuit executions one SPSA iteration consumes: two perturbation
+/// evaluations for the gradient estimate plus one evaluation of the updated
+/// iterate for the trace record.
+///
+/// This is the unit every reservation in the multi-tenant orchestrator is
+/// priced in — batch leases, provisional fine-tuning holds, and the release
+/// accounting when a hold is cancelled at triage or a lease is evicted all
+/// size device time as `iterations × SPSA_EXECUTIONS_PER_ITERATION ×
+/// seconds-per-execution`.
+pub const SPSA_EXECUTIONS_PER_ITERATION: u64 = 3;
+
+/// Circuit executions a block of `iterations` SPSA iterations consumes (see
+/// [`SPSA_EXECUTIONS_PER_ITERATION`]).
+pub fn executions_for_iterations(iterations: usize) -> u64 {
+    iterations as u64 * SPSA_EXECUTIONS_PER_ITERATION
+}
+
 /// Runs exactly one optimizer iteration: the optimizer mutates `params` in
 /// place and the evaluation at the new iterate is returned as the
 /// iteration's record.
@@ -226,6 +243,18 @@ mod tests {
             final_e < initial - 0.1,
             "no progress: {initial} -> {final_e}"
         );
+    }
+
+    #[test]
+    fn spsa_execution_constant_matches_observed_cost() {
+        let mut eval = triangle_evaluator();
+        let mut spsa = Spsa::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let before = eval.executions();
+        let mut params = vec![0.2, 0.2];
+        train_step(&mut eval, &mut spsa, &mut params, 0, &mut rng);
+        assert_eq!(eval.executions() - before, SPSA_EXECUTIONS_PER_ITERATION);
+        assert_eq!(executions_for_iterations(7), 21);
     }
 
     #[test]

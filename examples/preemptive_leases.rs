@@ -1,0 +1,103 @@
+//! Domain example: preemptive leases and deadline admission — three batch
+//! tenants saturate the fleet when a latency-sensitive job arrives with an
+//! Interactive SLA. The lease manager evicts a running lease at its
+//! checkpoint, serves the urgent tenant immediately, and requeues the
+//! victim with fair-share credit for the burned occupancy; the victim's
+//! training outcome is bit-identical to an uncontended run.
+//!
+//! Run with: `cargo run --release --example preemptive_leases`
+
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::scheduler::QoncordConfig;
+use qoncord::orchestrator::{
+    two_lf_one_hf_fleet, DeadlineClass, Orchestrator, OrchestratorConfig, PreemptionConfig,
+    TenantJob,
+};
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+
+fn jobs() -> Vec<TenantJob> {
+    (0..4)
+        .map(|i| {
+            let factory = QaoaFactory {
+                problem: MaxCut::new(Graph::paper_graph_7()),
+                layers: 1,
+            };
+            let config = QoncordConfig {
+                exploration_max_iterations: 10,
+                finetune_max_iterations: 12,
+                seed: 100 + i as u64,
+                ..QoncordConfig::default()
+            };
+            if i == 3 {
+                // The latency-sensitive arrival: lands mid-lease at t=1
+                // with a priority and an Interactive deadline class.
+                TenantJob::new(i, "urgent", 1.0, Box::new(factory))
+                    .with_restarts(2)
+                    .with_priority(3)
+                    .with_deadline_class(DeadlineClass::Interactive)
+                    .with_config(config)
+            } else {
+                TenantJob::new(i, format!("batch-{i}"), 0.0, Box::new(factory))
+                    .with_restarts(4)
+                    .with_config(config)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let run = |preemption| {
+        Orchestrator::new(
+            OrchestratorConfig {
+                preemption,
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        )
+        .run(&jobs())
+    };
+    let waiting = run(PreemptionConfig::default());
+    let preemptive = run(PreemptionConfig::enabled());
+
+    println!("4 tenants on the 2-LF/1-HF fleet, with vs. without lease preemption\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10} {:>11}",
+        "tenant", "wait (off)", "wait (on)", "evictions", "wasted s", "SLA met"
+    );
+    for (old, new) in waiting.jobs.iter().zip(&preemptive.jobs) {
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>10} {:>10.3} {:>11}",
+            new.tenant,
+            old.telemetry.wait_time().unwrap_or(f64::NAN),
+            new.telemetry.wait_time().unwrap_or(f64::NAN),
+            new.telemetry.evictions,
+            new.telemetry.wasted_seconds,
+            match new.telemetry.sla_met() {
+                Some(true) => "yes",
+                Some(false) => "MISSED",
+                None => "-",
+            },
+        );
+    }
+    println!();
+    for (old, new) in waiting.jobs.iter().zip(&preemptive.jobs) {
+        let quality = |r: &qoncord::orchestrator::JobRecord| {
+            r.status.report().map(|q| q.best_expectation()).unwrap()
+        };
+        assert_eq!(
+            quality(old),
+            quality(new),
+            "preemption must not change training results"
+        );
+    }
+    println!(
+        "evictions: {}  wasted occupancy: {:.3}s  (every tenant's energy is bit-identical in both runs)",
+        preemptive.total_evictions(),
+        preemptive.total_wasted_seconds()
+    );
+    println!(
+        "fleet makespan: {:.2}s without preemption, {:.2}s with",
+        waiting.makespan(),
+        preemptive.makespan()
+    );
+}

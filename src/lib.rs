@@ -16,7 +16,10 @@
 //!   policies.
 //! - [`orchestrator`] — multi-tenant orchestration: streams of real VQA
 //!   jobs executed concurrently over a shared device fleet on a virtual
-//!   clock, with fair-share lease dispatch and pruning-aware cancellation.
+//!   clock, with fair-share dispatch of preemptible device leases
+//!   (checkpointed optimizer state, urgency-based eviction),
+//!   deadline-aware admission control, workload-trace replay, and
+//!   pruning-aware cancellation.
 //!
 //! ## Quickstart
 //!
