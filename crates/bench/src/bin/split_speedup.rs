@@ -1,0 +1,132 @@
+//! Restart-splitting sweep: run the same restart-heavy multi-tenant trace
+//! through the orchestrator with QuSplit-style splitting off and on (and on
+//! with preemption), over the twin fleet (two LF twins, two HF twins).
+//! Reports fleet makespan, speedup over back-to-back execution, mean wait,
+//! mean utilization, and the fan-out the live-load planner actually chose —
+//! the throughput story splitting buys while every restart's energy and
+//! parameters stay bit-identical to the unsplit run.
+
+use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
+use qoncord_core::executor::QaoaFactory;
+use qoncord_core::scheduler::QoncordConfig;
+use qoncord_core::SelectionPolicy;
+use qoncord_orchestrator::{
+    two_lf_two_hf_fleet, Orchestrator, OrchestratorConfig, OrchestratorReport, PreemptionConfig,
+    SplitConfig, TenantJob,
+};
+use qoncord_vqa::graph::Graph;
+use qoncord_vqa::maxcut::MaxCut;
+
+fn engine_config(label: &str) -> OrchestratorConfig {
+    let mut config = OrchestratorConfig::default();
+    match label {
+        "Unsplit" => {}
+        "Split" => config.split = SplitConfig::enabled(),
+        "Split+Preemption" => {
+            config.split = SplitConfig::enabled();
+            config.preemption = PreemptionConfig::enabled();
+        }
+        other => unreachable!("unknown engine {other}"),
+    }
+    config
+}
+
+fn jobs(args: &ExperimentArgs, gap: f64) -> Vec<TenantJob> {
+    let n_jobs = args.scale(6, 16);
+    (0..n_jobs)
+        .map(|i| {
+            let factory = QaoaFactory {
+                problem: MaxCut::new(Graph::paper_graph_7()),
+                layers: 1,
+            };
+            let cfg = QoncordConfig {
+                exploration_max_iterations: args.scale(8, 25),
+                finetune_max_iterations: args.scale(6, 20),
+                selection: SelectionPolicy::TopK(2),
+                seed: args.seed ^ (i as u64) << 3,
+                ..QoncordConfig::default()
+            };
+            TenantJob::new(
+                i,
+                format!("tenant-{}", i % 4),
+                i as f64 * gap,
+                Box::new(factory),
+            )
+            .with_restarts(args.restarts(6, 12))
+            .with_config(cfg)
+            .with_priority((i % 3 == 0) as u32 * 2)
+        })
+        .collect()
+}
+
+fn mean_fanout(report: &OrchestratorReport) -> f64 {
+    let shards: Vec<f64> = report
+        .jobs
+        .iter()
+        .map(|j| j.telemetry.shards as f64)
+        .collect();
+    shards.iter().sum::<f64>() / shards.len() as f64
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // Stagger arrivals at roughly half a solo run so the trace contends
+    // without saturating (saturation hides the tail splitting removes).
+    let solo = Orchestrator::new(OrchestratorConfig::default(), two_lf_two_hf_fleet())
+        .run(&jobs(&args, 0.0)[..1]);
+    let gap = solo.jobs[0].telemetry.busy_seconds() * 0.5;
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut makespans = Vec::new();
+    for engine in ["Unsplit", "Split", "Split+Preemption"] {
+        let report =
+            Orchestrator::new(engine_config(engine), two_lf_two_hf_fleet()).run(&jobs(&args, gap));
+        assert_eq!(report.completed(), report.jobs.len(), "every job completes");
+        makespans.push(report.makespan());
+        let row = |precision: usize| {
+            vec![
+                engine.to_string(),
+                fmt(report.makespan(), precision),
+                fmt(report.speedup_vs_sequential(), precision),
+                fmt(report.mean_wait(), precision),
+                fmt(report.fleet.mean_utilization(), precision),
+                fmt(mean_fanout(&report), precision),
+                report.total_evictions().to_string(),
+            ]
+        };
+        rows.push(row(2));
+        csv.push(row(4));
+    }
+    println!("Restart splitting on the twin fleet (2 LF + 2 HF):\n");
+    print_table(
+        &[
+            "engine",
+            "makespan_s",
+            "speedup_vs_serial",
+            "mean_wait_s",
+            "mean_util",
+            "mean_fanout",
+            "evictions",
+        ],
+        &rows,
+    );
+    let headline = (makespans[0] - makespans[1]) / makespans[0] * 100.0;
+    println!(
+        "\nsplitting cuts fleet makespan by {} % on this trace",
+        fmt(headline, 1)
+    );
+    write_csv(
+        "split_speedup.csv",
+        &[
+            "engine",
+            "makespan_s",
+            "speedup_vs_serial",
+            "mean_wait_s",
+            "mean_util",
+            "mean_fanout",
+            "evictions",
+        ],
+        &csv,
+    );
+}

@@ -7,6 +7,34 @@
 //! that ordering for the queue simulator and standalone use.
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a [`FairShareQueue`] accounting call rejected a parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FairShareError {
+    /// Usage decay factors must lie in `[0, 1]` (1 = no aging, 0 = full
+    /// amnesty).
+    DecayFactorOutOfRange(f64),
+    /// Consumption and credit amounts must be non-negative finite seconds;
+    /// a negative or non-finite amount would silently corrupt every later
+    /// priority comparison.
+    InvalidSeconds(f64),
+}
+
+impl fmt::Display for FairShareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairShareError::DecayFactorOutOfRange(v) => {
+                write!(f, "decay factor must lie in [0, 1], got {v}")
+            }
+            FairShareError::InvalidSeconds(v) => {
+                write!(f, "seconds must be a non-negative finite number, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FairShareError {}
 
 /// Per-user accounting the fair-share policy weighs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -59,7 +87,7 @@ impl Default for FairShareWeights {
 /// use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
 ///
 /// let mut q = FairShareQueue::new();
-/// q.record_usage("heavy", 1000.0);
+/// q.record_usage("heavy", 1000.0).unwrap();
 /// q.push(QueuedRequest { id: 0, user: "heavy".into(), requested_seconds: 5.0, submitted_at: 0.0 });
 /// q.push(QueuedRequest { id: 1, user: "light".into(), requested_seconds: 5.0, submitted_at: 1.0 });
 /// // The light user's later submission dequeues first.
@@ -97,29 +125,73 @@ impl FairShareQueue {
     }
 
     /// Records `seconds` of consumption against `user`'s share.
-    pub fn record_usage(&mut self, user: &str, seconds: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FairShareError::InvalidSeconds`] when `seconds` is negative
+    /// or not finite. Deliberate credits (which *reduce* a user's balance) go
+    /// through [`credit_usage`](Self::credit_usage) instead, so an accounting
+    /// bug cannot masquerade as a discount.
+    pub fn record_usage(&mut self, user: &str, seconds: f64) -> Result<(), FairShareError> {
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err(FairShareError::InvalidSeconds(seconds));
+        }
         self.usage
             .entry(user.to_owned())
             .or_default()
             .consumed_seconds += seconds;
+        Ok(())
+    }
+
+    /// Grants `user` a fair-share credit of `seconds`: their consumption
+    /// balance drops by that amount, floating their queued requests. This is
+    /// the explicit discount path — priority boosts, eviction compensation —
+    /// kept separate from [`record_usage`](Self::record_usage) so only
+    /// intentional call sites can lower a balance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FairShareError::InvalidSeconds`] when `seconds` is negative
+    /// or not finite.
+    pub fn credit_usage(&mut self, user: &str, seconds: f64) -> Result<(), FairShareError> {
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err(FairShareError::InvalidSeconds(seconds));
+        }
+        self.usage
+            .entry(user.to_owned())
+            .or_default()
+            .consumed_seconds -= seconds;
+        Ok(())
     }
 
     /// Ages all users' consumption by `factor` (e.g. nightly decay toward
     /// zero so past-heavy users recover priority).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `factor` is outside `[0, 1]`.
-    pub fn decay_usage(&mut self, factor: f64) {
-        assert!((0.0..=1.0).contains(&factor), "decay factor in [0,1]");
+    /// Returns [`FairShareError::DecayFactorOutOfRange`] when `factor` is
+    /// outside `[0, 1]` or not finite.
+    pub fn decay_usage(&mut self, factor: f64) -> Result<(), FairShareError> {
+        if !(factor.is_finite() && (0.0..=1.0).contains(&factor)) {
+            return Err(FairShareError::DecayFactorOutOfRange(factor));
+        }
         for u in self.usage.values_mut() {
             u.consumed_seconds *= factor;
         }
+        Ok(())
     }
 
     /// Current usage record for a user.
     pub fn usage(&self, user: &str) -> UserUsage {
         self.usage.get(user).copied().unwrap_or_default()
+    }
+
+    /// Iterates every user the queue has accounted, with their usage
+    /// (arbitrary order — sort before presenting).
+    pub fn balances(&self) -> impl Iterator<Item = (&str, UserUsage)> {
+        self.usage
+            .iter()
+            .map(|(user, usage)| (user.as_str(), *usage))
     }
 
     /// Iterates the pending requests in insertion order (a dispatcher that
@@ -187,16 +259,18 @@ impl FairShareQueue {
     /// charge it back (via [`record_usage`](Self::record_usage)) once the
     /// victim is made whole, or it becomes a permanent discount.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `burned_seconds` is negative or not finite.
-    pub fn requeue_with_credit(&mut self, request: QueuedRequest, burned_seconds: f64) {
-        assert!(
-            burned_seconds.is_finite() && burned_seconds >= 0.0,
-            "burned seconds must be a non-negative finite number"
-        );
-        self.record_usage(&request.user, -burned_seconds);
+    /// Returns [`FairShareError::InvalidSeconds`] when `burned_seconds` is
+    /// negative or not finite; the request is not enqueued in that case.
+    pub fn requeue_with_credit(
+        &mut self,
+        request: QueuedRequest,
+        burned_seconds: f64,
+    ) -> Result<(), FairShareError> {
+        self.credit_usage(&request.user, burned_seconds)?;
         self.push(request);
+        Ok(())
     }
 
     /// Removes every request matching `pred` without running it, releasing
@@ -247,7 +321,7 @@ mod tests {
     #[test]
     fn light_users_jump_heavy_users() {
         let mut q = FairShareQueue::new();
-        q.record_usage("heavy", 500.0);
+        q.record_usage("heavy", 500.0).unwrap();
         q.push(req(0, "heavy", 10.0, 0.0));
         q.push(req(1, "light", 10.0, 5.0));
         assert_eq!(q.pop().unwrap().id, 1);
@@ -283,8 +357,8 @@ mod tests {
     #[test]
     fn decay_restores_priority() {
         let mut q = FairShareQueue::new();
-        q.record_usage("reformed", 1000.0);
-        q.decay_usage(0.0);
+        q.record_usage("reformed", 1000.0).unwrap();
+        q.decay_usage(0.0).unwrap();
         q.push(req(0, "reformed", 5.0, 0.0));
         q.push(req(1, "fresh", 5.0, 1.0));
         // Equal usage now; FIFO decides.
@@ -303,7 +377,7 @@ mod tests {
     #[test]
     fn drain_returns_everything_in_order() {
         let mut q = FairShareQueue::new();
-        q.record_usage("x", 100.0);
+        q.record_usage("x", 100.0).unwrap();
         q.push(req(0, "x", 1.0, 0.0));
         q.push(req(1, "y", 1.0, 1.0));
         q.push(req(2, "z", 1.0, 2.0));
@@ -314,15 +388,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "decay factor")]
-    fn bad_decay_rejected() {
-        FairShareQueue::new().decay_usage(1.5);
+    fn bad_decay_rejected_with_typed_error() {
+        let mut q = FairShareQueue::new();
+        assert_eq!(
+            q.decay_usage(1.5),
+            Err(FairShareError::DecayFactorOutOfRange(1.5))
+        );
+        assert!(matches!(
+            q.decay_usage(f64::NAN),
+            Err(FairShareError::DecayFactorOutOfRange(v)) if v.is_nan()
+        ));
+        assert_eq!(
+            q.decay_usage(-0.1),
+            Err(FairShareError::DecayFactorOutOfRange(-0.1))
+        );
+        let err = q.decay_usage(2.0).unwrap_err();
+        assert!(err.to_string().contains("decay factor"));
+        assert_eq!(q.decay_usage(1.0), Ok(()));
+        assert_eq!(q.decay_usage(0.0), Ok(()));
+    }
+
+    #[test]
+    fn invalid_usage_seconds_rejected_with_typed_error() {
+        let mut q = FairShareQueue::new();
+        assert_eq!(
+            q.record_usage("a", -5.0),
+            Err(FairShareError::InvalidSeconds(-5.0))
+        );
+        assert!(matches!(
+            q.record_usage("a", f64::INFINITY),
+            Err(FairShareError::InvalidSeconds(_))
+        ));
+        assert_eq!(
+            q.credit_usage("a", -1.0),
+            Err(FairShareError::InvalidSeconds(-1.0))
+        );
+        assert_eq!(
+            q.usage("a").consumed_seconds,
+            0.0,
+            "rejected calls leave the balance untouched"
+        );
+        let err = q.record_usage("a", f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("seconds"));
+    }
+
+    #[test]
+    fn credit_lowers_the_balance() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("a", 10.0).unwrap();
+        q.credit_usage("a", 4.0).unwrap();
+        assert_eq!(q.usage("a").consumed_seconds, 6.0);
     }
 
     #[test]
     fn pop_where_skips_non_matching_requests() {
         let mut q = FairShareQueue::new();
-        q.record_usage("heavy", 500.0);
+        q.record_usage("heavy", 500.0).unwrap();
         q.push(req(0, "heavy", 1.0, 0.0));
         q.push(req(1, "light", 1.0, 1.0));
         // Even though "light" has the better score, a filter on id 0 must
@@ -339,18 +460,24 @@ mod tests {
         // Both tenants have identical history; the victim burned 40s of
         // occupancy on an evicted lease, so its requeued request must beat
         // an otherwise-equal earlier submission.
-        q.record_usage("victim", 100.0);
-        q.record_usage("other", 100.0);
+        q.record_usage("victim", 100.0).unwrap();
+        q.record_usage("other", 100.0).unwrap();
         q.push(req(0, "other", 10.0, 0.0));
-        q.requeue_with_credit(req(1, "victim", 10.0, 5.0), 40.0);
+        q.requeue_with_credit(req(1, "victim", 10.0, 5.0), 40.0)
+            .unwrap();
         assert_eq!(q.usage("victim").consumed_seconds, 60.0);
         assert_eq!(q.pop().unwrap().id, 1);
     }
 
     #[test]
-    #[should_panic(expected = "burned seconds")]
-    fn negative_burned_credit_rejected() {
-        FairShareQueue::new().requeue_with_credit(req(0, "a", 1.0, 0.0), -1.0);
+    fn negative_burned_credit_rejected_with_typed_error() {
+        let mut q = FairShareQueue::new();
+        assert_eq!(
+            q.requeue_with_credit(req(0, "a", 1.0, 0.0), -1.0),
+            Err(FairShareError::InvalidSeconds(-1.0))
+        );
+        assert!(q.is_empty(), "a rejected requeue must not enqueue");
+        assert_eq!(q.usage("a").jobs_in_flight, 0);
     }
 
     #[test]

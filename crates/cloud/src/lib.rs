@@ -39,8 +39,10 @@ pub mod sim;
 pub mod workload;
 
 pub use device::{hypothetical_fleet, CloudDevice};
-pub use fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
+pub use fairshare::{FairShareError, FairShareQueue, FairShareWeights, QueuedRequest};
 pub use job::{JobKind, JobOutcome, JobSpec};
-pub use policy::{place_job, Placement, Policy};
+pub use policy::{
+    merge_shard_results, place_job, split_restarts, Placement, Policy, ShardPlacement,
+};
 pub use sim::{simulate, SimulationResult};
 pub use workload::{generate_workload, WorkloadConfig};

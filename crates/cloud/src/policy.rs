@@ -289,6 +289,121 @@ pub fn estimate_feasibility(
     }
 }
 
+/// One shard of a QuSplit-style restart split: a same-tier device plus the
+/// restart indices assigned to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlacement {
+    /// Target device (the [`CloudDevice::id`] of the chosen device).
+    pub device: usize,
+    /// Restart indices this shard owns, in ascending order.
+    pub restarts: Vec<usize>,
+}
+
+impl ShardPlacement {
+    /// Number of restarts the shard owns (its width).
+    pub fn width(&self) -> usize {
+        self.restarts.len()
+    }
+}
+
+/// Fans a job's `n_restarts` restarts across same-tier devices, the
+/// QuSplit-style split the multi-device orchestrator runs restarts of one
+/// job concurrently with.
+///
+/// Only devices whose fidelity is at least `tier_floor` are eligible — a
+/// shard must never land below the job's quality tier. Of those, the
+/// `max_fanout` least-loaded devices (load evaluated live at `now`) form
+/// the candidate pool, and restarts are dealt greedily onto whichever
+/// candidate has the earliest projected finish (`backlog + assigned ×
+/// seconds_per_restart`), so the fan-out *width* emerges from live load: a
+/// backlogged twin naturally receives few or zero restarts and drops out of
+/// the plan. Devices left without restarts are omitted, shard restart lists
+/// are ascending, and the widths of the returned shards always sum to
+/// `n_restarts`.
+///
+/// Returns an empty plan when no device reaches `tier_floor` (the caller
+/// should fall back to unsplit execution).
+///
+/// # Panics
+///
+/// Panics if `max_fanout` is zero or `seconds_per_restart` is negative or
+/// not finite.
+pub fn split_restarts(
+    devices: &[CloudDevice],
+    tier_floor: f64,
+    n_restarts: usize,
+    seconds_per_restart: f64,
+    max_fanout: usize,
+    now: f64,
+) -> Vec<ShardPlacement> {
+    assert!(max_fanout > 0, "fan-out must be at least 1");
+    assert!(
+        seconds_per_restart.is_finite() && seconds_per_restart >= 0.0,
+        "seconds per restart must be a non-negative finite number"
+    );
+    let mut pool: Vec<(usize, f64)> = devices
+        .iter()
+        .filter(|d| d.fidelity() >= tier_floor)
+        .map(|d| (d.id(), d.load_after(now)))
+        .collect();
+    if pool.is_empty() || n_restarts == 0 {
+        return Vec::new();
+    }
+    // Least-loaded candidates first; device id breaks ties deterministically.
+    pool.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite load")
+            .then(a.0.cmp(&b.0))
+    });
+    pool.truncate(max_fanout);
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); pool.len()];
+    for restart in 0..n_restarts {
+        let winner = (0..pool.len())
+            .min_by(|&a, &b| {
+                let fa = pool[a].1 + assigned[a].len() as f64 * seconds_per_restart;
+                let fb = pool[b].1 + assigned[b].len() as f64 * seconds_per_restart;
+                fa.partial_cmp(&fb).expect("finite projections")
+            })
+            .expect("non-empty pool");
+        assigned[winner].push(restart);
+    }
+    pool.iter()
+        .zip(assigned)
+        .filter(|(_, restarts)| !restarts.is_empty())
+        .map(|(&(device, _), restarts)| ShardPlacement { device, restarts })
+        .collect()
+}
+
+/// Merges per-restart shard outcomes back into restart order, independent
+/// of the order shards finished in. `outcomes` yields `(restart index,
+/// outcome)` pairs; the merge succeeds only when the indices form exactly
+/// the permutation `0..n_restarts` — a missing, duplicate, or out-of-range
+/// restart returns `None` instead of silently misattributing results.
+pub fn merge_shard_results<T>(
+    outcomes: impl IntoIterator<Item = (usize, T)>,
+    n_restarts: usize,
+) -> Option<Vec<T>> {
+    let mut slots: Vec<Option<T>> = (0..n_restarts).map(|_| None).collect();
+    let mut filled = 0;
+    for (restart, outcome) in outcomes {
+        let slot = slots.get_mut(restart)?;
+        if slot.is_some() {
+            return None;
+        }
+        *slot = Some(outcome);
+        filled += 1;
+    }
+    if filled != n_restarts {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect(),
+    )
+}
+
 fn least_busy(devices: &[CloudDevice], now: f64) -> usize {
     devices
         .iter()
@@ -495,5 +610,65 @@ mod tests {
     fn policy_labels_are_stable() {
         assert_eq!(Policy::Qoncord.label(), "Qoncord");
         assert_eq!(Policy::all().len(), 6);
+    }
+
+    #[test]
+    fn split_balances_restarts_over_idle_twins() {
+        let devices = vec![
+            CloudDevice::new(0, 0.5, 1.0),
+            CloudDevice::new(1, 0.5, 1.0),
+            CloudDevice::new(2, 0.9, 1.0),
+        ];
+        let plan = split_restarts(&devices, 0.5, 6, 10.0, 4, 0.0);
+        // Only the two tier-eligible... all three are >= 0.5; the HF device
+        // is eligible too (not *below* the tier) but everything is idle, so
+        // the deal spreads evenly over the three.
+        assert_eq!(plan.iter().map(ShardPlacement::width).sum::<usize>(), 6);
+        assert_eq!(plan.len(), 3);
+        for shard in &plan {
+            assert_eq!(shard.width(), 2);
+        }
+    }
+
+    #[test]
+    fn split_respects_tier_floor_and_load() {
+        let mut devices = vec![
+            CloudDevice::new(0, 0.3, 1.0), // below tier
+            CloudDevice::new(1, 0.6, 1.0),
+            CloudDevice::new(2, 0.6, 1.0),
+        ];
+        devices[2].schedule(0.0, 1e6); // hopelessly backlogged twin
+        let plan = split_restarts(&devices, 0.5, 4, 10.0, 4, 0.0);
+        assert_eq!(plan.len(), 1, "backlogged twin receives nothing");
+        assert_eq!(plan[0].device, 1);
+        assert_eq!(plan[0].restarts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn split_with_no_eligible_device_is_empty() {
+        let devices = vec![CloudDevice::new(0, 0.4, 1.0)];
+        assert!(split_restarts(&devices, 0.5, 4, 1.0, 4, 0.0).is_empty());
+        assert!(split_restarts(&devices, 0.3, 0, 1.0, 4, 0.0).is_empty());
+    }
+
+    #[test]
+    fn split_honors_max_fanout() {
+        let devices: Vec<CloudDevice> = (0..6).map(|i| CloudDevice::new(i, 0.7, 1.0)).collect();
+        let plan = split_restarts(&devices, 0.5, 12, 5.0, 2, 0.0);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.iter().map(ShardPlacement::width).sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn merge_reorders_and_rejects_bad_permutations() {
+        let merged = merge_shard_results([(2, "c"), (0, "a"), (1, "b")], 3).unwrap();
+        assert_eq!(merged, vec!["a", "b", "c"]);
+        assert!(
+            merge_shard_results([(0, 1), (0, 2)], 2).is_none(),
+            "duplicate"
+        );
+        assert!(merge_shard_results([(0, 1)], 2).is_none(), "missing");
+        assert!(merge_shard_results([(5, 1)], 1).is_none(), "out of range");
+        assert_eq!(merge_shard_results::<u8>([], 0), Some(vec![]));
     }
 }

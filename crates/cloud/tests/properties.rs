@@ -5,9 +5,11 @@
 use proptest::prelude::*;
 use qoncord_cloud::device::{hypothetical_fleet, CloudDevice};
 use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
-use qoncord_cloud::policy::Policy;
+use qoncord_cloud::policy::{merge_shard_results, split_restarts, Policy};
 use qoncord_cloud::sim::simulate;
 use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a queue holding `ids` as requests spread over a small user pool.
 fn queue_of(ids: &[usize]) -> FairShareQueue {
@@ -165,6 +167,88 @@ proptest! {
             }
             prop_assert_eq!(total_in_flight(&q, 3) as usize, q.len());
         }
+    }
+
+    /// Invariants of QuSplit-style shard placement: shard widths sum to the
+    /// restart count, no shard lands on a device below the job's tier, the
+    /// fan-out bound holds, and the assigned indices form exactly the
+    /// permutation `0..n_restarts`.
+    #[test]
+    fn split_placement_invariants(
+        n_devices in 2..8usize,
+        n_restarts in 0..40usize,
+        max_fanout in 1..6usize,
+        tier_floor in 0.2..0.95f64,
+        seconds_per_restart in 0.0..20.0f64,
+        backlogs in proptest::collection::vec(0.0..50.0f64, 8),
+    ) {
+        let mut devices = hypothetical_fleet(n_devices, 0.3, 0.9);
+        for (device, backlog) in devices.iter_mut().zip(&backlogs) {
+            device.schedule(0.0, *backlog);
+        }
+        let plan = split_restarts(
+            &devices, tier_floor, n_restarts, seconds_per_restart, max_fanout, 0.0,
+        );
+        let eligible = devices.iter().filter(|d| d.fidelity() >= tier_floor).count();
+        if eligible == 0 || n_restarts == 0 {
+            prop_assert!(plan.is_empty());
+        } else {
+            prop_assert!(!plan.is_empty());
+            let width_sum: usize = plan.iter().map(|s| s.width()).sum();
+            prop_assert_eq!(width_sum, n_restarts, "shard widths sum to the restart count");
+            prop_assert!(plan.len() <= max_fanout.min(eligible));
+            for shard in &plan {
+                let device = devices.iter().find(|d| d.id() == shard.device)
+                    .expect("plan references a real device");
+                prop_assert!(device.fidelity() >= tier_floor,
+                    "shard landed below the job's tier");
+                prop_assert!(shard.restarts.windows(2).all(|w| w[0] < w[1]),
+                    "shard restart lists are ascending");
+            }
+            // The union of the shards is exactly 0..n_restarts.
+            let merged = merge_shard_results(
+                plan.iter().flat_map(|s| s.restarts.iter().map(|&r| (r, r))),
+                n_restarts,
+            );
+            prop_assert_eq!(merged, Some((0..n_restarts).collect::<Vec<_>>()));
+        }
+    }
+
+    /// Merging shard results is order-independent: any shuffle of the
+    /// per-restart outcomes reassembles into the same restart-ordered list.
+    #[test]
+    fn shard_merge_is_order_independent(
+        n_restarts in 1..40usize,
+        n_shards in 1..6usize,
+        seed in 0..1000u64,
+    ) {
+        // Deal restarts round-robin across shards, then flatten shard by
+        // shard — already out of restart order — and additionally shuffle.
+        let mut outcomes: Vec<(usize, usize)> = (0..n_shards)
+            .flat_map(|s| {
+                (0..n_restarts)
+                    .filter(move |r| r % n_shards == s)
+                    .map(|r| (r, r * 10))
+            })
+            .collect();
+        let expected: Vec<usize> = (0..n_restarts).map(|r| r * 10).collect();
+        prop_assert_eq!(
+            merge_shard_results(outcomes.iter().copied(), n_restarts),
+            Some(expected.clone())
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..outcomes.len()).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            outcomes.swap(i, j);
+        }
+        prop_assert_eq!(
+            merge_shard_results(outcomes.iter().copied(), n_restarts),
+            Some(expected)
+        );
+        // Dropping any single outcome breaks the permutation and the merge
+        // refuses rather than misattributing.
+        let partial = &outcomes[1..];
+        prop_assert_eq!(merge_shard_results(partial.iter().copied(), n_restarts), None);
     }
 
     /// Device schedules never overlap: committed busy time within any

@@ -110,6 +110,20 @@ pub enum SelectionPolicy {
     All,
 }
 
+impl SelectionPolicy {
+    /// Upper bound on how many of `n_restarts` restarts can survive triage
+    /// under this policy (TopCluster is data-dependent, so its bound is the
+    /// full restart count). Capacity planners — e.g. the orchestrator's
+    /// fine-tuning shard fan-out — size by this instead of the raw restart
+    /// count, since only survivors ever fine-tune.
+    pub fn max_survivors(&self, n_restarts: usize) -> usize {
+        match self {
+            SelectionPolicy::TopK(k) => (*k).clamp(1, n_restarts.max(1)),
+            SelectionPolicy::TopCluster | SelectionPolicy::All => n_restarts,
+        }
+    }
+}
+
 /// Minimum centroid separation, relative to the mean |value|, for the triage
 /// to act; closer clusters mean the restarts are statistically
 /// indistinguishable and all are kept.

@@ -83,6 +83,51 @@ impl PhaseCheckpoint {
     }
 }
 
+/// A [`PhaseCheckpoint`] tagged with the sub-lease coordinates that
+/// produced it: which *shard* of the job held the device lease and which
+/// *restart* the checkpointed phase belongs to.
+///
+/// A job split QuSplit-style holds several concurrent sub-leases, one per
+/// shard; when one of them is evicted, the bare phase snapshot is no longer
+/// enough to certify a lossless resume — the engine must also verify that
+/// the re-granted batch belongs to the same shard and restart the recalled
+/// lease was serving. This is the saved state every sub-lease carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Shard of the job the lease was serving (0 for unsplit jobs).
+    pub shard: usize,
+    /// Restart index the checkpointed phase belongs to.
+    pub restart: usize,
+    /// The phase snapshot itself.
+    pub phase: PhaseCheckpoint,
+}
+
+impl ShardCheckpoint {
+    /// Serializes the checkpoint (shard and restart words followed by the
+    /// phase bytes of [`PhaseCheckpoint::to_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&(self.shard as u64).to_le_bytes());
+        out.extend_from_slice(&(self.restart as u64).to_le_bytes());
+        out.extend_from_slice(&self.phase.to_bytes());
+        out
+    }
+
+    /// Deserializes a checkpoint written by [`to_bytes`](Self::to_bytes).
+    /// Returns `None` on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let word = |i: usize| -> Option<[u8; 8]> { bytes.get(8 * i..8 * i + 8)?.try_into().ok() };
+        let shard = usize::try_from(u64::from_le_bytes(word(0)?)).ok()?;
+        let restart = usize::try_from(u64::from_le_bytes(word(1)?)).ok()?;
+        let phase = PhaseCheckpoint::from_bytes(bytes.get(16..)?)?;
+        Some(ShardCheckpoint {
+            shard,
+            restart,
+            phase,
+        })
+    }
+}
+
 /// One training phase driven batch-by-batch.
 ///
 /// # Examples
@@ -288,6 +333,24 @@ mod tests {
         let mut corrupt = bytes.clone();
         corrupt[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
         assert_eq!(PhaseCheckpoint::from_bytes(&corrupt), None);
+    }
+
+    #[test]
+    fn shard_checkpoint_round_trips() {
+        let ckpt = ShardCheckpoint {
+            shard: 3,
+            restart: 7,
+            phase: PhaseCheckpoint {
+                params: vec![0.25, 1.5],
+                iteration: 4,
+                executions: 12,
+            },
+        };
+        let bytes = ckpt.to_bytes();
+        assert_eq!(ShardCheckpoint::from_bytes(&bytes), Some(ckpt));
+        assert_eq!(ShardCheckpoint::from_bytes(&bytes[..15]), None);
+        assert_eq!(ShardCheckpoint::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(ShardCheckpoint::from_bytes(&[]), None);
     }
 
     #[test]

@@ -44,6 +44,21 @@ struct DriverLane {
     secs_per_execution: f64,
 }
 
+/// A ladder rung decomposed for reuse as a split shard lane: the bound
+/// evaluator plus everything the split driver prices and reports by.
+pub(crate) struct LadderLane {
+    /// Index of the device in the engine's fleet.
+    pub fleet_index: usize,
+    /// The device name (report attribution).
+    pub device_name: String,
+    /// The workload evaluator bound to this device.
+    pub evaluator: Box<dyn qoncord_vqa::evaluator::CostEvaluator>,
+    /// Estimated execution fidelity (Eq. 1).
+    pub p_correct: f64,
+    /// Wall-clock seconds one circuit execution occupies on the device.
+    pub secs_per_execution: f64,
+}
+
 enum Stage {
     /// The entropy-gate probe evaluation before a fine-tuning phase.
     Probe,
@@ -223,6 +238,40 @@ impl JobDriver {
         }
     }
 
+    /// Restart index the pending batch belongs to (0 when the job is done).
+    pub(crate) fn current_restart(&self) -> usize {
+        match &self.state {
+            DriverState::Exploring { restart, .. } => *restart,
+            DriverState::FineTuning { pos, .. } => *pos,
+            DriverState::Done => 0,
+        }
+    }
+
+    /// Fleet device of each ladder rung, ascending fidelity (exploration
+    /// rung first, final fine-tuning rung last).
+    pub(crate) fn ladder_fleet_indices(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.fleet_index).collect()
+    }
+
+    /// Decomposes a fresh driver into its ladder lanes (ladder order) and
+    /// the rejected-device list, so the split driver can reuse the
+    /// already-built evaluators as the primary shard of each tier instead
+    /// of constructing them twice.
+    pub(crate) fn into_shard_parts(self) -> (Vec<LadderLane>, Vec<RejectedDevice>) {
+        let lanes = self
+            .lanes
+            .into_iter()
+            .map(|l| LadderLane {
+                fleet_index: l.fleet_index,
+                device_name: l.lane.calibration.name().to_owned(),
+                evaluator: l.lane.evaluator,
+                p_correct: l.lane.p_correct,
+                secs_per_execution: l.secs_per_execution,
+            })
+            .collect();
+        (lanes, self.rejected)
+    }
+
     /// Estimated device-seconds of the next batch (for fair-share scoring).
     pub(crate) fn estimated_next_seconds(&self) -> f64 {
         match &self.state {
@@ -384,55 +433,20 @@ impl JobDriver {
     }
 
     fn exploration_phase(&self, restart: usize) -> PhaseRunner {
-        // Same tiering as the closed loop: single-device jobs get the strict
-        // checker and the combined budget.
-        let checker = if self.multi_device {
-            self.cfg.relaxed
-        } else {
-            self.cfg.strict
-        };
-        let budget = if self.multi_device {
-            self.cfg.exploration_max_iterations
-        } else {
-            self.cfg.exploration_max_iterations + self.cfg.finetune_max_iterations
-        };
-        PhaseRunner::new(
+        exploration_runner(
+            &self.cfg,
             self.initials[restart].clone(),
-            checker,
-            budget,
-            exploration_seed(self.cfg.seed, restart),
+            self.multi_device,
+            restart,
         )
     }
 
     fn finetune_phase(&self, lane: usize, restart: usize, params: Vec<f64>) -> PhaseRunner {
-        let checker = if lane == self.lanes.len() - 1 {
-            self.cfg.strict
-        } else {
-            self.cfg.relaxed
-        };
-        PhaseRunner::new(
-            params,
-            checker,
-            self.cfg.finetune_max_iterations,
-            finetune_seed(self.cfg.seed, restart, lane),
-        )
+        finetune_runner(&self.cfg, params, lane, self.lanes.len(), restart)
     }
 
     fn triage(&mut self) -> Vec<usize> {
-        let intermediates: Vec<f64> = self
-            .reports
-            .iter()
-            .map(|r| r.exploration_expectation)
-            .collect();
-        let keep = select_restarts(&intermediates, self.cfg.selection);
-        let mut pruned = Vec::new();
-        for (i, report) in self.reports.iter_mut().enumerate() {
-            report.survived = keep.contains(&i);
-            if !report.survived {
-                pruned.push(i);
-            }
-        }
-        pruned
+        triage_reports(&mut self.reports, self.cfg.selection)
     }
 
     /// Moves the cursor to the next survivor on `lane` after `after` (or the
@@ -468,6 +482,77 @@ impl JobDriver {
             from = 0;
         }
     }
+}
+
+/// The exploration phase runner of `restart` — checker tier, budget, and
+/// seeding in one place, shared by the unsplit driver and the split
+/// driver's exploration shards so the two execution paths cannot drift
+/// (the split==unsplit bit-identity contract rests on this).
+pub(crate) fn exploration_runner(
+    cfg: &QoncordConfig,
+    initial: Vec<f64>,
+    multi_device: bool,
+    restart: usize,
+) -> PhaseRunner {
+    // Same tiering as the closed loop: single-device jobs get the strict
+    // checker and the combined budget.
+    let checker = if multi_device {
+        cfg.relaxed
+    } else {
+        cfg.strict
+    };
+    let budget = if multi_device {
+        cfg.exploration_max_iterations
+    } else {
+        cfg.exploration_max_iterations + cfg.finetune_max_iterations
+    };
+    PhaseRunner::new(
+        initial,
+        checker,
+        budget,
+        exploration_seed(cfg.seed, restart),
+    )
+}
+
+/// The fine-tuning phase runner of `restart` on ladder rung `lane` of
+/// `n_lanes` — shared by both drivers (see [`exploration_runner`]).
+pub(crate) fn finetune_runner(
+    cfg: &QoncordConfig,
+    params: Vec<f64>,
+    lane: usize,
+    n_lanes: usize,
+    restart: usize,
+) -> PhaseRunner {
+    let checker = if lane == n_lanes - 1 {
+        cfg.strict
+    } else {
+        cfg.relaxed
+    };
+    PhaseRunner::new(
+        params,
+        checker,
+        cfg.finetune_max_iterations,
+        finetune_seed(cfg.seed, restart, lane),
+    )
+}
+
+/// Restart triage at the exploration/fine-tuning boundary, shared by both
+/// drivers: marks survivors per `selection` over the exploration
+/// expectations and returns the pruned restart indices.
+pub(crate) fn triage_reports(
+    reports: &mut [RestartReport],
+    selection: qoncord_core::SelectionPolicy,
+) -> Vec<usize> {
+    let intermediates: Vec<f64> = reports.iter().map(|r| r.exploration_expectation).collect();
+    let keep = select_restarts(&intermediates, selection);
+    let mut pruned = Vec::new();
+    for (i, report) in reports.iter_mut().enumerate() {
+        report.survived = keep.contains(&i);
+        if !report.survived {
+            pruned.push(i);
+        }
+    }
+    pruned
 }
 
 #[cfg(test)]

@@ -31,25 +31,46 @@
 //! current fleet load over the same placements the dispatch policy chose,
 //! and the [`AdmissionController`] admits, downgrades to best-effort, or
 //! rejects per [`AdmissionConfig`].
+//!
+//! # Splitting and fairness
+//!
+//! With [`SplitConfig::enabled`], a multi-device job is fanned
+//! QuSplit-style into per-device shards (see [`crate::split`]); the engine
+//! then keeps one batch request or lease in flight *per shard*, so a
+//! single job occupies several same-tier devices concurrently. Two
+//! fairness guards run underneath: every [`UsageDecayConfig`] epoch of
+//! virtual time ages all tenants' fair-share balances (so past-heavy
+//! tenants recover priority in the production dispatch path, not just in
+//! the fig12 queue simulator), and
+//! [`PreemptionConfig::eviction_cap`] grants a job eviction immunity once
+//! it has been evicted that many times, bounding how hard a stream of
+//! urgent arrivals can starve one victim.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
-use crate::driver::{JobDriver, SelectedDevice};
+use crate::driver::SelectedDevice;
 use crate::events::{Event, EventQueue};
 use crate::fleet::FleetDevice;
 use crate::job::TenantJob;
 use crate::lease::{LeaseLedger, LeaseTerms, Urgency};
+use crate::split::{self, JobRunner, SplitConfig};
 use crate::telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
+    TenantUsage,
 };
 use qoncord_cloud::device::CloudDevice;
 use qoncord_cloud::fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
 use qoncord_cloud::policy::{estimate_feasibility, place_job, Placement, Policy};
+use qoncord_core::phase::ShardCheckpoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 
+/// Default preemption budget: evictions a job absorbs before its remaining
+/// leases gain eviction immunity.
+pub const DEFAULT_EVICTION_CAP: u32 = 8;
+
 /// Tuning of lease preemption.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreemptionConfig {
     /// Whether urgent batch requests may evict running leases at all.
     /// Disabled, the engine only ever waits for a lease to expire — the
@@ -59,15 +80,76 @@ pub struct PreemptionConfig {
     /// counts as imminent once `now + remaining service estimate + margin`
     /// reaches its deadline.
     pub imminence_margin: f64,
+    /// Anti-starvation preemption budget: once a job has suffered this many
+    /// lease evictions, its remaining leases gain eviction immunity, so a
+    /// stream of urgent arrivals cannot re-evict the same victim without
+    /// bound. `None` restores the unbounded pre-budget behavior.
+    pub eviction_cap: Option<u32>,
+}
+
+impl Default for PreemptionConfig {
+    fn default() -> Self {
+        PreemptionConfig {
+            enabled: false,
+            imminence_margin: 0.0,
+            eviction_cap: Some(DEFAULT_EVICTION_CAP),
+        }
+    }
 }
 
 impl PreemptionConfig {
-    /// Preemption switched on with default margins.
+    /// Preemption switched on with default margins and eviction budget.
     pub fn enabled() -> Self {
         PreemptionConfig {
             enabled: true,
             ..PreemptionConfig::default()
         }
+    }
+}
+
+/// Virtual-time decay of fair-share usage: every `epoch_seconds` of the
+/// virtual clock, every tenant's consumed-seconds balance is multiplied by
+/// `factor`, so past-heavy tenants recover dispatch priority instead of
+/// sinking forever. Disabled by default (infinite epoch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageDecayConfig {
+    /// Virtual seconds between decay epochs (`f64::INFINITY` disables).
+    pub epoch_seconds: f64,
+    /// Multiplier applied to every balance at each epoch, in `[0, 1]`.
+    pub factor: f64,
+}
+
+impl Default for UsageDecayConfig {
+    fn default() -> Self {
+        UsageDecayConfig {
+            epoch_seconds: f64::INFINITY,
+            factor: 1.0,
+        }
+    }
+}
+
+impl UsageDecayConfig {
+    /// Decay by `factor` every `epoch_seconds` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_seconds` is not positive or `factor` lies outside
+    /// `[0, 1]`.
+    pub fn every(epoch_seconds: f64, factor: f64) -> Self {
+        assert!(epoch_seconds > 0.0, "decay epoch must be positive");
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "decay factor must lie in [0, 1]"
+        );
+        UsageDecayConfig {
+            epoch_seconds,
+            factor,
+        }
+    }
+
+    /// Whether any epoch will ever change a balance.
+    pub fn is_enabled(&self) -> bool {
+        self.epoch_seconds.is_finite() && self.factor < 1.0
     }
 }
 
@@ -90,6 +172,10 @@ pub struct OrchestratorConfig {
     pub preemption: PreemptionConfig,
     /// Deadline-aware admission control (admit-all by default).
     pub admission: AdmissionConfig,
+    /// QuSplit-style restart splitting (disabled by default).
+    pub split: SplitConfig,
+    /// Virtual-time fair-share usage decay (disabled by default).
+    pub decay: UsageDecayConfig,
     /// Seed of the placement RNG (only randomized policies consume it).
     pub seed: u64,
 }
@@ -103,6 +189,8 @@ impl Default for OrchestratorConfig {
             priority_credit: 50.0,
             preemption: PreemptionConfig::default(),
             admission: AdmissionConfig::default(),
+            split: SplitConfig::default(),
+            decay: UsageDecayConfig::default(),
             seed: 0x09C0,
         }
     }
@@ -152,10 +240,18 @@ impl Orchestrator {
     ///
     /// # Panics
     ///
-    /// Panics if the fleet is empty or device names collide (names key the
-    /// ladder-to-fleet mapping).
+    /// Panics if the fleet is empty, device names collide (names key the
+    /// ladder-to-fleet mapping), or the decay configuration is invalid.
     pub fn new(config: OrchestratorConfig, fleet: Vec<FleetDevice>) -> Self {
         assert!(!fleet.is_empty(), "fleet must not be empty");
+        assert!(
+            config.decay.epoch_seconds > 0.0,
+            "decay epoch must be positive"
+        );
+        assert!(
+            config.decay.factor.is_finite() && (0.0..=1.0).contains(&config.decay.factor),
+            "decay factor must lie in [0, 1]"
+        );
         let mut names = HashSet::new();
         for device in &fleet {
             assert!(
@@ -198,15 +294,16 @@ struct DeviceState {
 }
 
 enum Reservation {
-    /// A granted-on-pop batch request.
+    /// A granted-on-pop batch request of one job shard.
     Batch {
         job: usize,
+        shard: usize,
         device: usize,
         seconds: f64,
-        /// For a batch requeued by eviction: the evicted lease's recorded
-        /// checkpoint. The grant path verifies (in debug builds) that the
-        /// job resumes from exactly this state.
-        resume: Option<qoncord_core::phase::PhaseCheckpoint>,
+        /// For a batch requeued by eviction: the evicted sub-lease's
+        /// recorded checkpoint. The grant path verifies (in debug builds)
+        /// that the shard resumes from exactly this state.
+        resume: Option<ShardCheckpoint>,
     },
     /// A provisional hold for a restart's future fine-tuning block; never
     /// granted, released (or silently converted) at triage. The owning job
@@ -223,7 +320,12 @@ struct Sim<'a> {
     devices: Vec<DeviceState>,
     leases: LeaseLedger,
     events: EventQueue,
-    drivers: Vec<Option<JobDriver>>,
+    drivers: Vec<Option<JobRunner>>,
+    /// Per job: shards with a queued batch request or active lease (a shard
+    /// never has more than one pending batch in the system).
+    in_flight: Vec<HashSet<usize>>,
+    /// Decay epochs already applied to the fair-share balances.
+    decay_epochs: u64,
     telemetry: Vec<JobTelemetry>,
     status: Vec<Option<JobStatus>>,
     /// Per job: the priority it actually runs at (0 after a downgrade).
@@ -234,7 +336,12 @@ struct Sim<'a> {
     service_estimate: Vec<f64>,
     /// Per job: outstanding fair-share credit granted for evicted-lease
     /// occupancy, charged back at completion so it cannot outlive the job.
+    /// Decayed in lockstep with the queue balances (see `apply_decay`).
     eviction_credit: Vec<f64>,
+    /// Per job: the outstanding priority credit granted at admission, also
+    /// decayed in lockstep — charging back the undecayed grant would turn
+    /// the decayed portion into phantom consumption against the tenant.
+    priority_credit: Vec<f64>,
     /// Per job: restart index → (reservation id, fleet device, estimated
     /// seconds).
     holds: Vec<HashMap<usize, (usize, usize, f64)>>,
@@ -272,6 +379,8 @@ impl<'a> Sim<'a> {
             leases: LeaseLedger::new(fleet.len()),
             events,
             drivers: jobs.iter().map(|_| None).collect(),
+            in_flight: jobs.iter().map(|_| HashSet::new()).collect(),
+            decay_epochs: 0,
             telemetry: jobs
                 .iter()
                 .map(|job| JobTelemetry::new(job.arrival, fleet.len()))
@@ -281,6 +390,7 @@ impl<'a> Sim<'a> {
             deadlines: jobs.iter().map(|_| None).collect(),
             service_estimate: jobs.iter().map(|_| 0.0).collect(),
             eviction_credit: jobs.iter().map(|_| 0.0).collect(),
+            priority_credit: jobs.iter().map(|_| 0.0).collect(),
             holds: jobs.iter().map(|_| HashMap::new()).collect(),
             reservations: HashMap::new(),
             next_reservation: 0,
@@ -290,10 +400,41 @@ impl<'a> Sim<'a> {
 
     fn run_loop(&mut self) {
         while let Some((t, event)) = self.events.pop() {
+            self.apply_decay(t);
             match event {
                 Event::Arrival(job) => self.admit(job, t),
                 Event::LeaseDone { device, lease } => self.on_lease_done(device, lease, t),
             }
+        }
+    }
+
+    /// Applies every decay epoch the virtual clock has crossed since the
+    /// last applied one (this is the production-dispatch hook `decay_usage`
+    /// was missing: past-heavy tenants now recover priority as virtual time
+    /// passes, not only inside the fig12 queue simulator).
+    fn apply_decay(&mut self, now: f64) {
+        if !self.config.decay.is_enabled() {
+            return;
+        }
+        let due = (now / self.config.decay.epoch_seconds).floor() as u64;
+        if due > self.decay_epochs {
+            let crossed = (due - self.decay_epochs).min(i32::MAX as u64) as i32;
+            let factor = self.config.decay.factor.powi(crossed);
+            self.queue
+                .decay_usage(factor)
+                .expect("factor validated at construction");
+            // Outstanding job-scoped credits live inside the decayed
+            // balances; their charge-backs must shrink identically, or the
+            // decayed portion would be charged back as usage the tenant
+            // never consumed.
+            for credit in self
+                .eviction_credit
+                .iter_mut()
+                .chain(self.priority_credit.iter_mut())
+            {
+                *credit *= factor;
+            }
+            self.decay_epochs = due;
         }
     }
 
@@ -340,19 +481,15 @@ impl<'a> Sim<'a> {
                 });
             }
         }
-        let driver = match JobDriver::new(
-            spec.config.clone(),
-            spec.n_restarts,
-            spec.factory.as_ref(),
-            &selected,
-            self.config.shots,
-        ) {
-            Err(rejected) => {
-                self.status[job] = Some(JobStatus::Rejected { rejected });
-                return;
-            }
-            Ok(driver) => driver,
-        };
+        let runner =
+            match split::build_runner(spec, &selected, self.fleet, &views, self.config, now) {
+                Err(rejected) => {
+                    self.status[job] = Some(JobStatus::Rejected { rejected });
+                    return;
+                }
+                Ok(runner) => runner,
+            };
+        self.telemetry[job].shards = runner.shard_count();
 
         // Deadline-aware admission: project the job's completion from the
         // fleet load its placements see, then let the controller decide.
@@ -360,10 +497,10 @@ impl<'a> Sim<'a> {
         // ladder carry no per-circuit price; their work actually lands on
         // the ladder's entry rung, so reprice them there rather than at
         // zero (which would let unkeepable SLAs through).
-        let secs = driver.seconds_per_execution_by_fleet(self.fleet.len());
-        let ladder_entry = driver
-            .current_device()
-            .expect("a fresh driver has a pending batch");
+        let secs = runner.seconds_per_execution_by_fleet(self.fleet.len());
+        let ladder_entry = runner
+            .entry_device()
+            .expect("a fresh runner has a pending batch");
         let priced: Vec<Placement> = placements
             .iter()
             .map(|p| {
@@ -406,16 +543,20 @@ impl<'a> Sim<'a> {
             // Priorities enter fair-share as usage credit scoped to the
             // job's lifetime: granted on admission, charged back at
             // completion so it cannot leak onto later jobs.
-            self.queue.record_usage(
-                &spec.tenant,
-                -(priority as f64) * self.config.priority_credit,
-            );
+            let credit = priority as f64 * self.config.priority_credit;
+            self.queue
+                .credit_usage(&spec.tenant, credit)
+                .expect("priority credit is finite and non-negative");
+            self.priority_credit[job] = credit;
         }
-        if driver.is_multi_device() {
-            // Hold a provisional fine-tuning reservation per restart;
-            // triage converts survivors and releases the rest.
-            let (hold_device, hold_seconds) = driver.finetune_hold_estimate();
+        if runner.is_multi_device() {
+            // Hold a provisional fine-tuning reservation per restart,
+            // dealt across the fine-tuning shards the way triage will deal
+            // the survivors; triage converts survivors and releases the
+            // rest.
+            let targets = runner.finetune_hold_targets();
             for restart in 0..spec.n_restarts {
+                let (hold_device, hold_seconds) = targets[restart % targets.len()];
                 let id = self.next_id();
                 self.reservations.insert(id, Reservation::Hold);
                 self.devices[hold_device].pending_estimate += hold_seconds;
@@ -428,8 +569,8 @@ impl<'a> Sim<'a> {
                 self.holds[job].insert(restart, (id, hold_device, hold_seconds));
             }
         }
-        self.drivers[job] = Some(driver);
-        self.enqueue_next_batch(job, now);
+        self.drivers[job] = Some(runner);
+        self.enqueue_ready_batches(job, now);
     }
 
     fn next_id(&mut self) -> usize {
@@ -438,34 +579,52 @@ impl<'a> Sim<'a> {
         id
     }
 
-    /// Queues the job's next batch request and offers the target device a
-    /// dispatch opportunity — by eviction if the request is urgent enough.
-    fn enqueue_next_batch(&mut self, job: usize, now: f64) {
-        let driver = self.drivers[job].as_ref().expect("active driver");
-        let device = driver
-            .current_device()
-            .expect("finished jobs are finalized before re-enqueueing");
-        let seconds = driver.estimated_next_seconds();
-        let id = self.next_id();
-        self.reservations.insert(
-            id,
-            Reservation::Batch {
-                job,
-                device,
-                seconds,
-                resume: None,
-            },
-        );
-        self.devices[device].pending_estimate += seconds;
-        self.queue.push(QueuedRequest {
-            id,
-            user: self.jobs[job].tenant.clone(),
-            requested_seconds: seconds,
-            submitted_at: now,
-        });
-        self.try_dispatch(device, now);
-        if self.leases.active(device).is_some() {
-            self.try_preempt(device, job, id, now);
+    /// Queues a batch request for every shard of `job` that has pending
+    /// work and nothing in flight, offering each target device a dispatch
+    /// opportunity — by eviction if the request is urgent enough. Unsplit
+    /// jobs have one shard; split jobs enqueue one request per active
+    /// shard, which is what turns one job into several concurrently
+    /// schedulable sub-leases.
+    fn enqueue_ready_batches(&mut self, job: usize, now: f64) {
+        let ready: Vec<(usize, usize, f64)> = {
+            let runner = self.drivers[job].as_ref().expect("active runner");
+            runner
+                .ready_shards()
+                .into_iter()
+                .filter(|shard| !self.in_flight[job].contains(shard))
+                .map(|shard| {
+                    (
+                        shard,
+                        runner.shard_device(shard),
+                        runner.estimated_next_seconds(shard),
+                    )
+                })
+                .collect()
+        };
+        for (shard, device, seconds) in ready {
+            self.in_flight[job].insert(shard);
+            let id = self.next_id();
+            self.reservations.insert(
+                id,
+                Reservation::Batch {
+                    job,
+                    shard,
+                    device,
+                    seconds,
+                    resume: None,
+                },
+            );
+            self.devices[device].pending_estimate += seconds;
+            self.queue.push(QueuedRequest {
+                id,
+                user: self.jobs[job].tenant.clone(),
+                requested_seconds: seconds,
+                submitted_at: now,
+            });
+            self.try_dispatch(device, now);
+            if self.leases.active(device).is_some() {
+                self.try_preempt(device, job, id, now);
+            }
         }
     }
 
@@ -538,6 +697,7 @@ impl<'a> Sim<'a> {
     fn grant(&mut self, request: QueuedRequest, now: f64) {
         let Some(Reservation::Batch {
             job,
+            shard,
             device,
             seconds,
             resume,
@@ -550,13 +710,14 @@ impl<'a> Sim<'a> {
         let checkpoint = self.drivers[job]
             .as_ref()
             .expect("granted job is active")
-            .checkpoint();
+            .shard_checkpoint(shard);
         if let Some(expected) = resume {
             // An evicted batch must resume from exactly the optimizer state
-            // its recalled lease recorded — the losslessness contract.
+            // its recalled sub-lease recorded, on the same shard and
+            // restart — the losslessness contract.
             debug_assert!(
                 expected == checkpoint,
-                "evicted job resumed from a different state than its lease checkpoint"
+                "evicted shard resumed from a different state than its lease checkpoint"
             );
         }
         let lease = self.leases.grant(
@@ -615,6 +776,14 @@ impl<'a> Sim<'a> {
         {
             return;
         }
+        // Anti-starvation preemption budget: a job that has already been
+        // evicted `cap` times holds its remaining leases with immunity, so
+        // a stream of urgent arrivals cannot re-evict it without bound.
+        if let Some(cap) = self.config.preemption.eviction_cap {
+            if self.telemetry[holder_job].evictions >= cap as usize {
+                return;
+            }
+        }
         self.evict(device, now);
         let request = self
             .queue
@@ -631,31 +800,36 @@ impl<'a> Sim<'a> {
     fn evict(&mut self, device: usize, now: f64) {
         let evicted = self.leases.evict(device, now);
         let victim = evicted.lease.job;
+        let shard = evicted.lease.shard();
         self.devices[device].wasted_seconds += evicted.burned_seconds;
         self.devices[device].evictions += 1;
         self.telemetry[victim].evictions += 1;
         self.telemetry[victim].wasted_seconds += evicted.burned_seconds;
+        self.telemetry[victim].record_shard_waste(shard, evicted.burned_seconds);
         self.eviction_credit[victim] += evicted.burned_seconds;
         let id = self.next_id();
         self.reservations.insert(
             id,
             Reservation::Batch {
                 job: victim,
+                shard,
                 device,
                 seconds: evicted.lease.seconds,
                 resume: Some(evicted.lease.checkpoint),
             },
         );
         self.devices[device].pending_estimate += evicted.lease.seconds;
-        self.queue.requeue_with_credit(
-            QueuedRequest {
-                id,
-                user: evicted.lease.tenant.clone(),
-                requested_seconds: evicted.lease.seconds,
-                submitted_at: now,
-            },
-            evicted.burned_seconds,
-        );
+        self.queue
+            .requeue_with_credit(
+                QueuedRequest {
+                    id,
+                    user: evicted.lease.tenant.clone(),
+                    requested_seconds: evicted.lease.seconds,
+                    submitted_at: now,
+                },
+                evicted.burned_seconds,
+            )
+            .expect("burned occupancy is finite and non-negative");
     }
 
     fn on_lease_done(&mut self, device: usize, lease: u64, now: f64) {
@@ -664,11 +838,13 @@ impl<'a> Sim<'a> {
             return;
         };
         let job = lease.job;
+        let shard = lease.shard();
+        self.in_flight[job].remove(&shard);
         // The batch's real compute runs now, at its virtual completion.
         let result = self.drivers[job]
             .as_mut()
             .expect("granted job is active")
-            .execute_batch();
+            .execute_batch(shard);
         debug_assert_eq!(result.fleet_index, device, "driver/queue device mismatch");
         debug_assert!(
             (result.duration - lease.seconds).abs() < 1e-9,
@@ -687,26 +863,35 @@ impl<'a> Sim<'a> {
         telemetry.executions += result.executions;
         telemetry.cost += result.duration * self.fleet[device].cost_per_second();
         self.queue
-            .record_usage(&self.jobs[job].tenant, result.duration);
+            .record_usage(&self.jobs[job].tenant, result.duration)
+            .expect("batch durations are finite and non-negative");
 
         if let Some(pruned) = &result.pruned {
             self.resolve_holds(job, pruned);
         }
         if result.finished {
+            debug_assert!(
+                self.in_flight[job].is_empty(),
+                "a finished job has no shard in flight"
+            );
             self.telemetry[job].completion = Some(now);
             let spec = &self.jobs[job];
-            let priority = self.effective_priority[job];
-            if priority > 0 {
-                // Expire the job-scoped priority credit granted at admission.
+            if self.priority_credit[job] > 0.0 {
+                // Expire the job-scoped priority credit granted at
+                // admission — what remains of it after decay.
                 self.queue
-                    .record_usage(&spec.tenant, priority as f64 * self.config.priority_credit);
+                    .record_usage(&spec.tenant, self.priority_credit[job])
+                    .expect("priority credit is finite and non-negative");
+                self.priority_credit[job] = 0.0;
             }
             if self.eviction_credit[job] > 0.0 {
                 // Expire the eviction compensation the same way: it boosts
                 // the victim while it is still being delayed, but must not
                 // discount the tenant's later jobs.
                 self.queue
-                    .record_usage(&spec.tenant, self.eviction_credit[job]);
+                    .record_usage(&spec.tenant, self.eviction_credit[job])
+                    .expect("burned seconds are finite and non-negative");
+                self.eviction_credit[job] = 0.0;
             }
             let report = self.drivers[job]
                 .take()
@@ -714,7 +899,7 @@ impl<'a> Sim<'a> {
                 .into_report();
             self.status[job] = Some(JobStatus::Completed { report });
         } else {
-            self.enqueue_next_batch(job, now);
+            self.enqueue_ready_batches(job, now);
         }
         self.try_dispatch(device, now);
     }
@@ -764,12 +949,22 @@ impl<'a> Sim<'a> {
                 telemetry,
             })
             .collect();
+        let mut tenant_usage: Vec<TenantUsage> = self
+            .queue
+            .balances()
+            .map(|(tenant, usage)| TenantUsage {
+                tenant: tenant.to_owned(),
+                consumed_seconds: usage.consumed_seconds,
+            })
+            .collect();
+        tenant_usage.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         OrchestratorReport {
             jobs,
             fleet: FleetTelemetry {
                 devices,
                 makespan: self.makespan,
             },
+            tenant_usage,
         }
     }
 }

@@ -150,6 +150,24 @@ pub fn two_lf_one_hf_fleet() -> Vec<FleetDevice> {
     ]
 }
 
+/// The split-experiment fleet: twin low-fidelity devices *and* twin
+/// high-fidelity devices, so QuSplit-style restart splitting can fan both
+/// the exploration tier and the fine-tuning tier. Twins share a
+/// calibration model, which is what keeps split results bit-identical to
+/// unsplit runs.
+pub fn two_lf_two_hf_fleet() -> Vec<FleetDevice> {
+    vec![
+        FleetDevice::new(catalog::ibmq_toronto().renamed("lf_east")),
+        FleetDevice::new(catalog::ibmq_toronto().renamed("lf_west")),
+        FleetDevice::new(catalog::ibmq_kolkata().renamed("hf_north"))
+            .with_cost_per_second(8.0)
+            .expect("positive reference price"),
+        FleetDevice::new(catalog::ibmq_kolkata().renamed("hf_south"))
+            .with_cost_per_second(8.0)
+            .expect("positive reference price"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +220,25 @@ mod tests {
         );
         let err = device().with_speed(-2.0).unwrap_err();
         assert!(err.to_string().contains("speed"), "display names the field");
+    }
+
+    #[test]
+    fn split_fleet_tiers_come_in_identical_twins() {
+        let fleet = two_lf_two_hf_fleet();
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(
+            fleet[0].advertised_fidelity(),
+            fleet[1].advertised_fidelity(),
+            "LF twins advertise the same tier"
+        );
+        assert_eq!(
+            fleet[2].advertised_fidelity(),
+            fleet[3].advertised_fidelity(),
+            "HF twins advertise the same tier"
+        );
+        assert!(fleet[0].advertised_fidelity() < fleet[2].advertised_fidelity());
+        let names: Vec<&str> = fleet.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["lf_east", "lf_west", "hf_north", "hf_south"]);
     }
 
     #[test]

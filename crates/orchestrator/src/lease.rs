@@ -1,9 +1,12 @@
-//! Preemptible device leases.
+//! Preemptible device (sub-)leases.
 //!
 //! Every granted batch of the orchestration engine is an explicit [`Lease`]:
 //! who holds which device, at what priority, against which deadline, and —
 //! because the batch's real compute is deferred to the lease's expiry — the
-//! [`PhaseCheckpoint`] of the holder's optimizer state at grant time. A
+//! [`ShardCheckpoint`] of the holder's optimizer state at grant time. A job
+//! split QuSplit-style holds several such leases concurrently (one per
+//! shard), which is why the checkpoint also names the shard and restart the
+//! lease serves. A
 //! lease can therefore be *evicted* before it expires: the device is handed
 //! to a more urgent tenant, the recalled batch re-enters the fair-share
 //! queue carrying the lease's checkpoint, and when it is re-granted the
@@ -17,7 +20,7 @@
 //! deadline-imminent challenger may evict an equal-priority holder that is
 //! not itself deadline-imminent.
 
-use qoncord_core::phase::PhaseCheckpoint;
+use qoncord_core::phase::ShardCheckpoint;
 
 /// One granted device reservation: a batch occupying a fleet device between
 /// [`granted_at`](Lease::granted_at) and [`expires_at`](Lease::expires_at),
@@ -26,7 +29,7 @@ use qoncord_core::phase::PhaseCheckpoint;
 /// # Examples
 ///
 /// ```
-/// use qoncord_core::phase::PhaseCheckpoint;
+/// use qoncord_core::phase::{PhaseCheckpoint, ShardCheckpoint};
 /// use qoncord_orchestrator::lease::Lease;
 ///
 /// let lease = Lease {
@@ -39,18 +42,24 @@ use qoncord_core::phase::PhaseCheckpoint;
 ///     granted_at: 10.0,
 ///     expires_at: 16.0,
 ///     seconds: 6.0,
-///     checkpoint: PhaseCheckpoint {
-///         params: vec![0.4, 1.3],
-///         iteration: 5,
-///         executions: 15,
+///     checkpoint: ShardCheckpoint {
+///         shard: 1,
+///         restart: 3,
+///         phase: PhaseCheckpoint {
+///             params: vec![0.4, 1.3],
+///             iteration: 5,
+///             executions: 15,
+///         },
 ///     },
 /// };
 /// // Two seconds in, four seconds of the batch remain and two would be
 /// // wasted if the lease were evicted now.
 /// assert_eq!(lease.remaining(12.0), 4.0);
 /// assert_eq!(lease.held(12.0), 2.0);
-/// // The checkpoint records where the holder's phase was at grant time.
-/// assert_eq!(lease.checkpoint.iteration, 5);
+/// // The checkpoint records which shard/restart the sub-lease serves and
+/// // where the holder's phase was at grant time.
+/// assert_eq!(lease.shard(), 1);
+/// assert_eq!(lease.checkpoint.phase.iteration, 5);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Lease {
@@ -75,12 +84,18 @@ pub struct Lease {
     pub expires_at: f64,
     /// Device-seconds the granted batch occupies.
     pub seconds: f64,
-    /// The holder's optimizer state at grant time — what the job resumes
-    /// from if the lease is recalled.
-    pub checkpoint: PhaseCheckpoint,
+    /// The holder's optimizer state at grant time, tagged with the shard
+    /// and restart this sub-lease serves — what the job resumes from if the
+    /// lease is recalled.
+    pub checkpoint: ShardCheckpoint,
 }
 
 impl Lease {
+    /// Shard of the holding job this sub-lease serves (0 for unsplit jobs).
+    pub fn shard(&self) -> usize {
+        self.checkpoint.shard
+    }
+
     /// Seconds of the granted batch still outstanding at `now`.
     pub fn remaining(&self, now: f64) -> f64 {
         (self.expires_at - now).max(0.0)
@@ -140,8 +155,9 @@ pub struct LeaseTerms {
     pub deadline: Option<f64>,
     /// Device-seconds the batch needs.
     pub seconds: f64,
-    /// The job's optimizer state at grant time.
-    pub checkpoint: PhaseCheckpoint,
+    /// The job's optimizer state at grant time, tagged with the shard and
+    /// restart the sub-lease serves.
+    pub checkpoint: ShardCheckpoint,
 }
 
 /// The book of record for device leases: one active lease per device, plus
@@ -268,10 +284,14 @@ mod tests {
             priority,
             deadline: None,
             seconds,
-            checkpoint: PhaseCheckpoint {
-                params: vec![0.1],
-                iteration: 0,
-                executions: 0,
+            checkpoint: ShardCheckpoint {
+                shard: 0,
+                restart: 0,
+                phase: qoncord_core::phase::PhaseCheckpoint {
+                    params: vec![0.1],
+                    iteration: 0,
+                    executions: 0,
+                },
             },
         }
     }

@@ -26,9 +26,14 @@
 //!   downgrading or rejecting it otherwise.
 //! - [`engine`] — the event loop: fair-share lease dispatch (reusing
 //!   [`qoncord_cloud::fairshare`]), ladder selection per arrival (reusing
-//!   [`qoncord_cloud::policy::place_job`]), urgency-based lease preemption,
-//!   and pruning-aware cancellation of reservations when restart triage
-//!   kills work mid-flight.
+//!   [`qoncord_cloud::policy::place_job`]), urgency-based lease preemption
+//!   bounded by an anti-starvation eviction budget, virtual-time usage
+//!   decay, and pruning-aware cancellation of reservations when restart
+//!   triage kills work mid-flight.
+//! - [`split`] — QuSplit-style restart splitting: one job's restarts
+//!   fanned across same-tier devices as concurrent sub-leases (fan-out
+//!   width chosen from live load), with merges bit-identical to the
+//!   unsplit run on twin devices.
 //! - [`replay`] — adapts [`qoncord_cloud::workload`] arrival traces into
 //!   tenant jobs so the paper's pseudo-workload drives the orchestrator.
 //! - [`telemetry`] — per-job wait/makespan/device-seconds/cost, eviction
@@ -53,20 +58,22 @@ pub mod fleet;
 pub mod job;
 pub mod lease;
 pub mod replay;
+pub mod split;
 pub mod telemetry;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionOutcome,
     Deadline, DeadlineClass,
 };
-pub use engine::{Orchestrator, OrchestratorConfig, PreemptionConfig};
-pub use fleet::{two_lf_one_hf_fleet, FleetDevice, FleetDeviceError};
+pub use engine::{Orchestrator, OrchestratorConfig, PreemptionConfig, UsageDecayConfig};
+pub use fleet::{two_lf_one_hf_fleet, two_lf_two_hf_fleet, FleetDevice, FleetDeviceError};
 pub use job::TenantJob;
 pub use lease::{EvictedLease, Lease, LeaseLedger, LeaseTerms, Urgency};
 pub use replay::{replay_workload, ReplayConfig};
+pub use split::SplitConfig;
 pub use telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
-    TenantSla,
+    TenantSla, TenantUsage,
 };
 
 #[cfg(test)]

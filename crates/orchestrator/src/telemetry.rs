@@ -38,6 +38,12 @@ pub struct JobTelemetry {
     pub evictions: usize,
     /// Device-seconds of lease occupancy those evictions wasted.
     pub wasted_seconds: f64,
+    /// Number of shards the job's restarts were fanned into (1 = unsplit).
+    pub shards: usize,
+    /// Device-seconds of wasted eviction occupancy per shard, indexed by
+    /// shard id (shorter than `shards` when trailing shards were never
+    /// evicted). Sums to [`wasted_seconds`](Self::wasted_seconds).
+    pub shard_wasted_seconds: Vec<f64>,
 }
 
 impl JobTelemetry {
@@ -56,7 +62,17 @@ impl JobTelemetry {
             released_seconds: 0.0,
             evictions: 0,
             wasted_seconds: 0.0,
+            shards: 1,
+            shard_wasted_seconds: Vec::new(),
         }
+    }
+
+    /// Accounts `seconds` of evicted-lease occupancy against `shard`.
+    pub(crate) fn record_shard_waste(&mut self, shard: usize, seconds: f64) {
+        if self.shard_wasted_seconds.len() <= shard {
+            self.shard_wasted_seconds.resize(shard + 1, 0.0);
+        }
+        self.shard_wasted_seconds[shard] += seconds;
     }
 
     /// Seconds between submission and the first granted batch.
@@ -222,6 +238,18 @@ impl TenantSla {
     }
 }
 
+/// A tenant's fair-share balance when the run ended: real consumption
+/// minus whatever decay erased, with every job-scoped credit already
+/// charged back. This is the number the next run's dispatch priorities
+/// would start from — the decay/credit regression tests pin it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantUsage {
+    /// The tenant.
+    pub tenant: String,
+    /// Fair-share consumed-seconds balance at the end of the run.
+    pub consumed_seconds: f64,
+}
+
 /// The orchestrator's full output.
 #[derive(Debug, Clone)]
 pub struct OrchestratorReport {
@@ -229,9 +257,19 @@ pub struct OrchestratorReport {
     pub jobs: Vec<JobRecord>,
     /// Fleet-level accounting.
     pub fleet: FleetTelemetry,
+    /// End-of-run fair-share balances, sorted by tenant.
+    pub tenant_usage: Vec<TenantUsage>,
 }
 
 impl OrchestratorReport {
+    /// A tenant's end-of-run fair-share balance (0.0 for unknown tenants).
+    pub fn tenant_balance(&self, tenant: &str) -> f64 {
+        self.tenant_usage
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map_or(0.0, |t| t.consumed_seconds)
+    }
+
     /// Virtual time of the last batch completion.
     pub fn makespan(&self) -> f64 {
         self.fleet.makespan
@@ -423,7 +461,13 @@ mod tests {
                 devices: vec![],
                 makespan: 12.0,
             },
+            tenant_usage: vec![TenantUsage {
+                tenant: "a".into(),
+                consumed_seconds: 13.0,
+            }],
         };
+        assert_eq!(report.tenant_balance("a"), 13.0);
+        assert_eq!(report.tenant_balance("zzz"), 0.0);
         let sla = report.tenant_sla();
         assert_eq!(sla.len(), 2);
         assert_eq!(sla[0].tenant, "a");

@@ -1,0 +1,244 @@
+//! Fair-share starvation regressions: virtual-time usage decay in the
+//! production dispatch path (previously only the fig12 queue simulator ever
+//! aged usage) and the anti-starvation preemption budget (previously a
+//! stream of urgent arrivals could re-evict the same victim without bound).
+//!
+//! Timing in these tests is made exact by normalizing device speed so one
+//! circuit execution costs exactly 1 virtual second (an SPSA batch = 3 s),
+//! and by using convergence checkers that never saturate early.
+
+use qoncord_core::convergence::ConvergenceConfig;
+use qoncord_core::executor::QaoaFactory;
+use qoncord_core::scheduler::QoncordConfig;
+use qoncord_device::catalog;
+use qoncord_device::noise_model::SimulatedBackend;
+use qoncord_orchestrator::{
+    FleetDevice, Orchestrator, OrchestratorConfig, OrchestratorReport, PreemptionConfig, TenantJob,
+    UsageDecayConfig,
+};
+use qoncord_vqa::evaluator::{CostEvaluator, QaoaEvaluator};
+use qoncord_vqa::graph::Graph;
+use qoncord_vqa::maxcut::MaxCut;
+
+const SHOTS: u64 = 1000;
+
+fn problem() -> MaxCut {
+    MaxCut::new(Graph::paper_graph_7())
+}
+
+fn factory() -> Box<QaoaFactory> {
+    Box::new(QaoaFactory {
+        problem: problem(),
+        layers: 1,
+    })
+}
+
+/// A single-device fleet whose speed makes one execution take exactly 1 s.
+fn normalized_single_lf_fleet() -> Vec<FleetDevice> {
+    let calibration = catalog::ibmq_toronto();
+    let evaluator = QaoaEvaluator::new(
+        &problem(),
+        1,
+        SimulatedBackend::from_calibration(calibration.clone()),
+        0,
+    );
+    let base_seconds = calibration.execution_time_s(&evaluator.circuit_stats(), SHOTS);
+    vec![FleetDevice::new(calibration)
+        .with_speed(base_seconds)
+        .expect("positive normalization speed")]
+}
+
+/// A checker that never saturates, so batch counts equal the budgets.
+fn never_saturates() -> ConvergenceConfig {
+    ConvergenceConfig {
+        window: 2,
+        expectation_tolerance: 0.0,
+        entropy_tolerance: 0.0,
+        min_iterations: 1_000_000,
+        joint: true,
+    }
+}
+
+/// A job running exactly `iterations` SPSA batches (3 s each) on the
+/// single-device ladder.
+fn timed_job(id: usize, tenant: &str, arrival: f64, iterations: usize) -> TenantJob {
+    assert!(iterations >= 2, "split across the two phase budgets");
+    let cfg = QoncordConfig {
+        exploration_max_iterations: iterations / 2,
+        finetune_max_iterations: iterations - iterations / 2,
+        relaxed: never_saturates(),
+        strict: never_saturates(),
+        seed: 7 + id as u64,
+        ..QoncordConfig::default()
+    };
+    TenantJob::new(id, tenant, arrival, factory())
+        .with_restarts(1)
+        .with_config(cfg)
+}
+
+/// The decay arena: tenant "heavy" burns 60 s of device time early, tenant
+/// "light" burns 6 s shortly before the contest, and at t ≈ 208 both submit
+/// identical jobs while a filler occupies the device. Whoever is granted
+/// first when the filler's batch expires reveals the fair-share ranking.
+fn decay_contest(decay: UsageDecayConfig) -> OrchestratorReport {
+    let config = OrchestratorConfig {
+        decay,
+        ..OrchestratorConfig::default()
+    };
+    let jobs = vec![
+        timed_job(0, "heavy", 0.0, 20),  // busy [0, 60)
+        timed_job(1, "light", 201.0, 2), // busy [201, 207)
+        timed_job(2, "filler", 207.5, 4),
+        timed_job(3, "heavy", 208.0, 4),
+        timed_job(4, "light", 208.3, 4),
+    ];
+    let report = Orchestrator::new(config, normalized_single_lf_fleet()).run(&jobs);
+    assert_eq!(report.completed(), 5);
+    report
+}
+
+#[test]
+fn usage_decay_restores_a_past_heavy_tenants_priority() {
+    let start = |r: &OrchestratorReport, i: usize| r.jobs[i].telemetry.first_start.unwrap();
+
+    // Without decay the regression stands: the heavy tenant's long-finished
+    // work still outweighs the light tenant's recent sliver, so the light
+    // tenant's request is granted first.
+    let frozen = decay_contest(UsageDecayConfig::default());
+    assert!(
+        start(&frozen, 4) < start(&frozen, 3),
+        "without decay the light tenant outranks: light {} vs heavy {}",
+        start(&frozen, 4),
+        start(&frozen, 3)
+    );
+
+    // With usage decayed every 50 virtual seconds, the heavy tenant's old
+    // consumption has aged to nearly nothing by the contest while the light
+    // tenant's recent usage has not — the previously heavy tenant's next
+    // request now outranks the light tenant's.
+    let decayed = decay_contest(UsageDecayConfig::every(50.0, 0.02));
+    assert!(
+        start(&decayed, 3) < start(&decayed, 4),
+        "after decay the heavy tenant outranks: heavy {} vs light {}",
+        start(&decayed, 3),
+        start(&decayed, 4)
+    );
+
+    // Decay reorders grants; it must not change anyone's training numbers.
+    for i in 0..5 {
+        assert_eq!(
+            frozen.jobs[i].status.report().unwrap().best_expectation(),
+            decayed.jobs[i].status.report().unwrap().best_expectation()
+        );
+    }
+}
+
+/// The starvation arena: one long victim plus a stream of short urgent
+/// arrivals timed to land mid-way through whichever batch the victim has
+/// just been re-granted.
+fn eviction_storm(eviction_cap: Option<u32>) -> OrchestratorReport {
+    let config = OrchestratorConfig {
+        preemption: PreemptionConfig {
+            enabled: true,
+            imminence_margin: 0.0,
+            eviction_cap,
+        },
+        ..OrchestratorConfig::default()
+    };
+    let mut jobs = vec![timed_job(0, "victim", 0.0, 40)];
+    for k in 0..10 {
+        jobs.push(
+            timed_job(1 + k, &format!("urgent-{k}"), 1.0 + 10.0 * k as f64, 2).with_priority(2),
+        );
+    }
+    let report = Orchestrator::new(config, normalized_single_lf_fleet()).run(&jobs);
+    assert_eq!(report.completed(), 11);
+    report
+}
+
+#[test]
+fn eviction_cap_stops_unbounded_re_eviction_of_the_same_victim() {
+    // The regression, preserved under `eviction_cap: None`: every one of
+    // the ten urgent arrivals evicts the same victim again.
+    let unbounded = eviction_storm(None);
+    fn victim(r: &OrchestratorReport) -> &qoncord_orchestrator::JobTelemetry {
+        &r.jobs[0].telemetry
+    }
+    assert!(
+        victim(&unbounded).evictions >= 8,
+        "the old engine re-evicts the victim once per urgent arrival, got {}",
+        victim(&unbounded).evictions
+    );
+
+    // With a budget of 3, the third eviction grants the victim immunity for
+    // its remaining batches: later urgent arrivals wait out the running
+    // batch instead of burning it.
+    let capped = eviction_storm(Some(3));
+    assert_eq!(
+        victim(&capped).evictions,
+        3,
+        "evictions stop exactly at the budget"
+    );
+    assert!(
+        victim(&capped).wasted_seconds < victim(&unbounded).wasted_seconds,
+        "the budget bounds the victim's wasted work"
+    );
+    assert!(
+        capped.total_wasted_seconds() < unbounded.total_wasted_seconds(),
+        "fleet-wide wasted occupancy drops under the budget"
+    );
+    // Urgent arrivals still preempt: the cap limits repetition, it does not
+    // disable preemption.
+    assert!(capped.total_evictions() >= 3);
+
+    // Per-shard waste accounting stays consistent with the job totals.
+    for report in [&unbounded, &capped] {
+        let t = victim(report);
+        let per_shard: f64 = t.shard_wasted_seconds.iter().sum();
+        assert!((per_shard - t.wasted_seconds).abs() < 1e-9);
+    }
+
+    // Eviction immunity never touches the numbers, only the timing.
+    assert_eq!(
+        capped.jobs[0].status.report().unwrap().best_expectation(),
+        unbounded.jobs[0]
+            .status
+            .report()
+            .unwrap()
+            .best_expectation()
+    );
+    // And the victim, no longer bleeding occupancy, finishes no later.
+    let done = |r: &OrchestratorReport| r.jobs[0].telemetry.completion.unwrap();
+    assert!(done(&capped) <= done(&unbounded));
+}
+
+#[test]
+fn decayed_priority_credit_unwinds_exactly() {
+    // A priority job whose lifetime crosses a decay epoch: the admission
+    // credit is decayed inside the fair-share balance, so the completion
+    // charge-back must return only what remains of it. If the undecayed
+    // grant were charged back, the tenant would end the run owing phantom
+    // consumption it never incurred — here the job's end-of-run balance
+    // must match an identically timed priority-0 run to the bit.
+    let run = |priority: u32| {
+        let config = OrchestratorConfig {
+            decay: UsageDecayConfig::every(50.0, 0.5),
+            ..OrchestratorConfig::default()
+        };
+        let jobs = vec![timed_job(0, "tenant", 0.0, 20).with_priority(priority)];
+        let report = Orchestrator::new(config, normalized_single_lf_fleet()).run(&jobs);
+        assert_eq!(report.completed(), 1);
+        report
+    };
+    let boosted = run(2);
+    let plain = run(0);
+    assert!(
+        (boosted.tenant_balance("tenant") - plain.tenant_balance("tenant")).abs() < 1e-9,
+        "the decayed priority credit must unwind exactly: boosted {} vs plain {}",
+        boosted.tenant_balance("tenant"),
+        plain.tenant_balance("tenant")
+    );
+    // Sanity: the balance reflects real decayed consumption (60 s of work,
+    // the first 48 s decayed once at the t=50 epoch: 48*0.5 + 12 = 36).
+    assert!((plain.tenant_balance("tenant") - 36.0).abs() < 1e-9);
+}

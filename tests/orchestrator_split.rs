@@ -1,0 +1,185 @@
+//! QuSplit-style restart splitting, end to end: on a restart-heavy
+//! multi-tenant trace over the twin fleet, the split-mode orchestrator must
+//! finish strictly sooner than the unsplit one while every restart of every
+//! job lands on exactly the same final energy and parameters — splitting
+//! changes only the timing, never the numbers.
+
+use qoncord_core::executor::QaoaFactory;
+use qoncord_core::scheduler::QoncordConfig;
+use qoncord_core::SelectionPolicy;
+use qoncord_orchestrator::{
+    two_lf_two_hf_fleet, Orchestrator, OrchestratorConfig, OrchestratorReport, SplitConfig,
+    TenantJob,
+};
+use qoncord_vqa::graph::Graph;
+use qoncord_vqa::maxcut::MaxCut;
+
+fn restart_heavy_job(id: usize, arrival: f64) -> TenantJob {
+    let factory = QaoaFactory {
+        problem: MaxCut::new(Graph::paper_graph_7()),
+        layers: 1,
+    };
+    let cfg = QoncordConfig {
+        exploration_max_iterations: 8,
+        finetune_max_iterations: 6,
+        selection: SelectionPolicy::TopK(2),
+        seed: 100 + id as u64,
+        ..QoncordConfig::default()
+    };
+    TenantJob::new(id, format!("tenant-{id}"), arrival, Box::new(factory))
+        .with_restarts(6)
+        .with_config(cfg)
+}
+
+fn run_trace(split: bool, gap: f64) -> OrchestratorReport {
+    let config = OrchestratorConfig {
+        split: if split {
+            SplitConfig::enabled()
+        } else {
+            SplitConfig::default()
+        },
+        ..OrchestratorConfig::default()
+    };
+    let jobs: Vec<TenantJob> = (0..8)
+        .map(|i| restart_heavy_job(i, i as f64 * gap))
+        .collect();
+    Orchestrator::new(config, two_lf_two_hf_fleet()).run(&jobs)
+}
+
+#[test]
+fn split_fleet_beats_unsplit_with_bit_identical_results() {
+    // Calibrate the arrival stagger off a solo run so the trace has real
+    // contention without the fleet saturating (a fully saturated fleet hides
+    // the tail latency splitting removes).
+    let solo = Orchestrator::new(OrchestratorConfig::default(), two_lf_two_hf_fleet())
+        .run(&[restart_heavy_job(0, 0.0)]);
+    let gap = solo.jobs[0].telemetry.busy_seconds() * 0.5;
+    assert!(gap > 0.0);
+
+    let unsplit = run_trace(false, gap);
+    let split = run_trace(true, gap);
+    assert_eq!(unsplit.completed(), 8);
+    assert_eq!(split.completed(), 8);
+
+    // Throughput: strictly lower fleet makespan in split mode.
+    assert!(
+        split.makespan() < unsplit.makespan(),
+        "split makespan {} must be strictly below unsplit {}",
+        split.makespan(),
+        unsplit.makespan()
+    );
+
+    // The splitting layer actually engaged: jobs fanned into multiple
+    // sub-leases, and both twins of each tier did real work.
+    assert!(
+        split.jobs.iter().any(|j| j.telemetry.shards > 2),
+        "at least one job fans wider than a plain two-rung ladder"
+    );
+    assert!(unsplit.jobs.iter().all(|j| j.telemetry.shards == 1));
+    for device in &split.fleet.devices {
+        assert!(device.executions > 0, "{} never ran", device.name);
+    }
+
+    // Fidelity: every restart's numbers are bit-identical to the unsplit
+    // run — same survivors, same final energy, same final parameters.
+    for (a, b) in split.jobs.iter().zip(&unsplit.jobs) {
+        let (ra, rb) = (
+            a.status.report().expect("split job completed"),
+            b.status.report().expect("unsplit job completed"),
+        );
+        assert_eq!(ra.restarts.len(), rb.restarts.len());
+        for (x, y) in ra.restarts.iter().zip(&rb.restarts) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.survived, y.survived, "job {} restart {}", a.id, x.index);
+            assert_eq!(x.initial_params, y.initial_params);
+            assert_eq!(x.exploration_expectation, y.exploration_expectation);
+            assert_eq!(
+                x.final_expectation, y.final_expectation,
+                "job {} restart {} energy drifted under splitting",
+                a.id, x.index
+            );
+            assert_eq!(
+                x.final_params, y.final_params,
+                "job {} restart {} parameters drifted under splitting",
+                a.id, x.index
+            );
+        }
+        assert_eq!(ra.total_executions(), rb.total_executions());
+    }
+
+    // Work conservation: the fleet's busy time equals the leased time in
+    // both modes (splitting moves work, it does not duplicate it).
+    for report in [&split, &unsplit] {
+        let fleet_busy: f64 = report.fleet.devices.iter().map(|d| d.busy_seconds).sum();
+        assert!((fleet_busy - report.sequential_makespan()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn split_solo_job_finishes_strictly_faster() {
+    // The purest reading of the QuSplit claim: one job alone on the fleet
+    // completes sooner because its restarts run concurrently.
+    let unsplit = run_trace(false, 0.0);
+    let solo_unsplit = Orchestrator::new(OrchestratorConfig::default(), two_lf_two_hf_fleet())
+        .run(&[restart_heavy_job(3, 0.0)]);
+    let solo_split = Orchestrator::new(
+        OrchestratorConfig {
+            split: SplitConfig::enabled(),
+            ..OrchestratorConfig::default()
+        },
+        two_lf_two_hf_fleet(),
+    )
+    .run(&[restart_heavy_job(3, 0.0)]);
+    assert_eq!(solo_split.completed(), 1);
+    assert!(
+        solo_split.makespan() < solo_unsplit.makespan(),
+        "solo split {} vs unsplit {}",
+        solo_split.makespan(),
+        solo_unsplit.makespan()
+    );
+    // Same numbers as the job had inside the full unsplit trace, too: the
+    // result depends on neither contention nor splitting.
+    let traced = unsplit.jobs[3].status.report().unwrap();
+    let solo = solo_split.jobs[0].status.report().unwrap();
+    assert_eq!(solo.best_expectation(), traced.best_expectation());
+}
+
+#[test]
+fn split_disabled_by_restart_count_or_config_runs_single_sharded() {
+    // A single-restart job cannot split; neither can any job when the
+    // feature is off. Both still complete normally.
+    let factory = || {
+        Box::new(QaoaFactory {
+            problem: MaxCut::new(Graph::paper_graph_7()),
+            layers: 1,
+        })
+    };
+    let cfg = QoncordConfig {
+        exploration_max_iterations: 5,
+        finetune_max_iterations: 5,
+        seed: 9,
+        ..QoncordConfig::default()
+    };
+    let jobs = vec![
+        TenantJob::new(0, "solo-restart", 0.0, factory())
+            .with_restarts(1)
+            .with_config(cfg.clone()),
+        TenantJob::new(1, "multi", 0.0, factory())
+            .with_restarts(4)
+            .with_config(cfg),
+    ];
+    let report = Orchestrator::new(
+        OrchestratorConfig {
+            split: SplitConfig::enabled(),
+            ..OrchestratorConfig::default()
+        },
+        two_lf_two_hf_fleet(),
+    )
+    .run(&jobs);
+    assert_eq!(report.completed(), 2);
+    assert_eq!(
+        report.jobs[0].telemetry.shards, 1,
+        "one restart leaves nothing to fan out"
+    );
+    assert!(report.jobs[1].telemetry.shards > 1);
+}
