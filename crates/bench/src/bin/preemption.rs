@@ -24,10 +24,7 @@ fn engine_config(label: &str) -> OrchestratorConfig {
         "Preemptive" => config.preemption = PreemptionConfig::enabled(),
         "Preemptive+Admission" => {
             config.preemption = PreemptionConfig::enabled();
-            config.admission = AdmissionConfig {
-                mode: AdmissionMode::Reject,
-                safety_margin: 0.0,
-            };
+            config.admission = AdmissionConfig::with_mode(AdmissionMode::Reject);
         }
         other => unreachable!("unknown engine {other}"),
     }
@@ -75,6 +72,7 @@ fn main() {
         },
         session_restarts: args.restarts(2, 4),
         interactive_priority: 2,
+        deadline_free_stride: None,
     };
 
     let mut rows = Vec::new();

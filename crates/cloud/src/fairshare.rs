@@ -114,6 +114,12 @@ impl FairShareQueue {
         }
     }
 
+    /// The scoring weights this queue dequeues by (admission-time queue
+    /// projections must score with exactly these to predict pop order).
+    pub fn weights(&self) -> FairShareWeights {
+        self.weights
+    }
+
     /// Number of pending requests.
     pub fn len(&self) -> usize {
         self.pending.len()

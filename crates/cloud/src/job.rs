@@ -6,6 +6,28 @@
 //! gaps other jobs may slot into.
 
 /// The shape of a job's execution.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::job::{JobKind, JobSpec};
+///
+/// let session = JobKind::RuntimeSession {
+///     n_batches: 10,
+///     circuits_per_batch: 30,
+///     inter_batch_delay: 1.0,
+/// };
+/// assert!(session.is_session());
+/// assert_eq!(session.total_circuits(), 300);
+/// let spec = JobSpec {
+///     id: 0,
+///     arrival: 5.0,
+///     kind: session,
+///     seconds_per_circuit: 0.1,
+///     is_vqa: true,
+/// };
+/// assert_eq!(spec.nominal_busy_time(), 30.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JobKind {
     /// A one-shot task of `n_circuits` circuit executions.

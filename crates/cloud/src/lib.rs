@@ -42,7 +42,9 @@ pub use device::{hypothetical_fleet, CloudDevice};
 pub use fairshare::{FairShareError, FairShareQueue, FairShareWeights, QueuedRequest};
 pub use job::{JobKind, JobOutcome, JobSpec};
 pub use policy::{
-    merge_shard_results, place_job, split_restarts, Placement, Policy, ShardPlacement,
+    estimate_feasibility, estimate_feasibility_decayed, merge_shard_results, place_job,
+    projected_dispatch_order, split_restarts, FeasibilityEstimate, Placement, Policy, QueueModel,
+    ShardPlacement, UsageDecayModel,
 };
 pub use sim::{simulate, SimulationResult};
 pub use workload::{generate_workload, WorkloadConfig};

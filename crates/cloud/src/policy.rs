@@ -1,10 +1,16 @@
 //! The cloud scheduling policies of Sec. V-A: Least Busy, Load Weighted,
 //! Fidelity Weighted, Best Fidelity, EQC (ensemble/asynchronous execution),
-//! and Qoncord (phase splitting).
+//! and Qoncord (phase splitting) — plus the feasibility cost models
+//! admission control projects job completions with, including the
+//! decay-aware variant ([`estimate_feasibility_decayed`]) that ranks
+//! queued work by projected fair-share dispatch order under virtual-time
+//! usage decay.
 
 use crate::device::CloudDevice;
+use crate::fairshare::{FairShareQueue, QueuedRequest};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A cloud scheduling policy.
@@ -244,8 +250,32 @@ impl FeasibilityEstimate {
 
     /// Whether the projected completion (inflated by `margin` seconds of
     /// safety) lands at or before `deadline`.
+    ///
+    /// A *negative* margin deliberately loosens the check — a calibrated
+    /// admission controller uses one when realized completions run
+    /// systematically earlier than projections. A non-finite projected
+    /// completion (`NaN` or `∞`) never meets any deadline: the comparison
+    /// is `false` for every `NaN` operand, so a corrupted projection fails
+    /// closed as infeasible rather than admitting on garbage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qoncord_cloud::policy::FeasibilityEstimate;
+    ///
+    /// let est = FeasibilityEstimate {
+    ///     queue_seconds: 4.0,
+    ///     service_seconds: 16.0,
+    ///     completion: 20.0,
+    /// };
+    /// assert!(est.meets(25.0, 0.0));
+    /// assert!(!est.meets(25.0, 10.0), "margin tightens the check");
+    /// assert!(est.meets(18.0, -5.0), "negative margin loosens it");
+    /// let bad = FeasibilityEstimate { completion: f64::NAN, ..est };
+    /// assert!(!bad.meets(f64::INFINITY, 0.0), "NaN fails closed");
+    /// ```
     pub fn meets(&self, deadline: f64, margin: f64) -> bool {
-        self.completion + margin <= deadline
+        self.completion.is_finite() && self.completion + margin <= deadline
     }
 }
 
@@ -266,16 +296,36 @@ pub fn estimate_feasibility(
     seconds_per_circuit: &[f64],
     now: f64,
 ) -> FeasibilityEstimate {
+    let extra = vec![0.0; devices.len()];
+    project_placements(placements, devices, seconds_per_circuit, now, &extra)
+}
+
+/// The shared projection walk: placements run in order, each starting once
+/// its device's backlog (`load_after` plus `extra_delay` seconds of
+/// additional queued work) has drained *and* the previous placement has
+/// finished.
+fn project_placements(
+    placements: &[Placement],
+    devices: &[CloudDevice],
+    seconds_per_circuit: &[f64],
+    now: f64,
+    extra_delay: &[f64],
+) -> FeasibilityEstimate {
     assert_eq!(
         devices.len(),
         seconds_per_circuit.len(),
         "one per-circuit time per device"
     );
+    assert_eq!(
+        devices.len(),
+        extra_delay.len(),
+        "one extra-delay entry per device"
+    );
     let mut previous_finish = now;
     let mut first_start = None;
     let mut service_seconds = 0.0;
     for p in placements {
-        let backlog_clear = now + devices[p.device].load_after(now);
+        let backlog_clear = now + devices[p.device].load_after(now) + extra_delay[p.device];
         let start = backlog_clear.max(previous_finish);
         first_start.get_or_insert(start);
         let run = p.circuits as f64 * seconds_per_circuit[p.device];
@@ -287,6 +337,252 @@ pub fn estimate_feasibility(
         service_seconds,
         completion: previous_finish,
     }
+}
+
+/// Virtual-time usage-decay parameters, mirrored from the dispatcher that
+/// ages fair-share balances: every `epoch_seconds` of the virtual clock,
+/// every tenant's consumed-seconds balance is multiplied by `factor`.
+///
+/// Feasibility projections need the same model the dispatcher runs,
+/// because decay between now and a job's projected start changes which
+/// queued requests outrank it (a past-heavy tenant recovers priority while
+/// the new job waits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageDecayModel {
+    /// Virtual seconds between decay epochs (`f64::INFINITY` disables).
+    pub epoch_seconds: f64,
+    /// Multiplier applied to every balance at each epoch, in `[0, 1]`.
+    pub factor: f64,
+}
+
+impl UsageDecayModel {
+    /// No decay: balances never age (the identity model).
+    pub fn none() -> Self {
+        UsageDecayModel {
+            epoch_seconds: f64::INFINITY,
+            factor: 1.0,
+        }
+    }
+
+    /// Decay by `factor` every `epoch_seconds` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_seconds` is not positive or `factor` lies outside
+    /// `[0, 1]`.
+    pub fn every(epoch_seconds: f64, factor: f64) -> Self {
+        assert!(epoch_seconds > 0.0, "decay epoch must be positive");
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "decay factor must lie in [0, 1]"
+        );
+        UsageDecayModel {
+            epoch_seconds,
+            factor,
+        }
+    }
+
+    /// Epoch boundaries crossed between virtual times `from` and `until`
+    /// (absolute boundaries at multiples of the epoch length, matching a
+    /// dispatcher that decays whenever `floor(now / epoch)` advances).
+    pub fn epochs_between(&self, from: f64, until: f64) -> u32 {
+        if !self.epoch_seconds.is_finite() || until <= from {
+            return 0;
+        }
+        let crossed = (until / self.epoch_seconds).floor() - (from / self.epoch_seconds).floor();
+        crossed.max(0.0).min(u32::MAX as f64) as u32
+    }
+
+    /// The compound decay factor applied to a balance between `from` and
+    /// `until` (1.0 when no epoch boundary is crossed). Epoch counts beyond
+    /// `i32::MAX` saturate (the factor is already ~0 long before that).
+    pub fn factor_between(&self, from: f64, until: f64) -> f64 {
+        self.factor
+            .powi(self.epochs_between(from, until).min(i32::MAX as u32) as i32)
+    }
+
+    /// Whether any epoch will ever change a balance.
+    pub fn is_enabled(&self) -> bool {
+        self.epoch_seconds.is_finite() && self.factor < 1.0
+    }
+}
+
+/// Decay disabled: the identity model ([`UsageDecayModel::none`]).
+impl Default for UsageDecayModel {
+    fn default() -> Self {
+        UsageDecayModel::none()
+    }
+}
+
+/// The order a [`FairShareQueue`]'s pending requests would pop in if every
+/// balance were first aged by `decay_factor` — computed analytically from
+/// the queue's balances and weights, without mutating (or popping) the
+/// queue.
+///
+/// This is the projection admission control ranks an arriving job's queue
+/// position with; a property test pins it to the queue's real
+/// [`pop`](FairShareQueue::pop) order. Scoring replays dispatch exactly:
+/// each projected pop releases its in-flight slot (recent-consumption
+/// balances change only when work *runs*, which a projection cannot
+/// observe), ties break FIFO on submission time.
+///
+/// # Panics
+///
+/// Panics if `decay_factor` lies outside `[0, 1]` or is not finite.
+pub fn projected_dispatch_order(queue: &FairShareQueue, decay_factor: f64) -> Vec<usize> {
+    assert!(
+        decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
+        "decay factor must lie in [0, 1]"
+    );
+    let weights = queue.weights();
+    let mut consumed: HashMap<&str, f64> = HashMap::new();
+    let mut in_flight: HashMap<&str, f64> = HashMap::new();
+    for (user, usage) in queue.balances() {
+        consumed.insert(user, usage.consumed_seconds * decay_factor);
+        in_flight.insert(user, usage.jobs_in_flight as f64);
+    }
+    let mut pending: Vec<&QueuedRequest> = queue.pending().collect();
+    let mut order = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        let mut best = 0;
+        for i in 1..pending.len() {
+            let score = |r: &QueuedRequest| {
+                weights.usage * consumed.get(r.user.as_str()).copied().unwrap_or(0.0)
+                    + weights.in_flight * in_flight.get(r.user.as_str()).copied().unwrap_or(0.0)
+                    + weights.request_size * r.requested_seconds
+            };
+            let ordering = score(pending[i])
+                .partial_cmp(&score(pending[best]))
+                .expect("finite scores")
+                .then(
+                    pending[i]
+                        .submitted_at
+                        .partial_cmp(&pending[best].submitted_at)
+                        .expect("finite times"),
+                );
+            // `Iterator::min_by` keeps the *first* of fully tied elements
+            // (equal score and submission time); replicate that so the
+            // projection matches pop order exactly.
+            if ordering == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        let popped = pending.remove(best);
+        if let Some(slots) = in_flight.get_mut(popped.user.as_str()) {
+            *slots = (*slots - 1.0).max(0.0);
+        }
+        order.push(popped.id);
+    }
+    order
+}
+
+/// The queue-side inputs of a decay-aware feasibility projection: the
+/// fair-share queue as it stands, the arriving job's hypothetical first
+/// request, the request-to-device mapping, and the dispatcher's decay
+/// model.
+pub struct QueueModel<'a, F: Fn(usize) -> Option<usize>> {
+    /// The live fair-share queue (balances + pending requests).
+    pub queue: &'a FairShareQueue,
+    /// The arriving job's hypothetical first request. Its id must not
+    /// collide with any queued request's.
+    pub probe: &'a QueuedRequest,
+    /// Maps a queued request id to the device it is bound for (`None` for
+    /// requests that occupy no device).
+    pub device_of: F,
+    /// The dispatcher's virtual-time usage-decay parameters.
+    pub decay: UsageDecayModel,
+}
+
+/// Decay-aware feasibility: like [`estimate_feasibility`], but the queued
+/// (ungranted) work ahead of the job is ranked by projected fair-share
+/// dispatch order instead of being charged wholesale.
+///
+/// `devices` must carry only *committed* backlog (granted work that runs
+/// regardless of queue order); the [`QueueModel`] holds the ungranted
+/// requests. Only queued work projected to pop *before* the probe delays
+/// the job — work the job outranks under fair-share does not, which is
+/// exactly how the dispatcher will treat it.
+///
+/// Decay enters as a fixed point: a first pass projects the start time
+/// with un-decayed balances, the crossed epochs until that start give the
+/// compound [`UsageDecayModel::factor_between`], and the final projection
+/// ranks the queue with balances aged by that factor — so a past-heavy
+/// tenant whose balance will have decayed by the time the job could start
+/// is projected to outrank it, matching realized dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::device::CloudDevice;
+/// use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
+/// use qoncord_cloud::policy::{
+///     estimate_feasibility_decayed, Placement, QueueModel, UsageDecayModel,
+/// };
+///
+/// // One idle device; a heavy tenant has 100s of queued work pending.
+/// let devices = vec![CloudDevice::new(0, 0.9, 1.0)];
+/// let mut queue = FairShareQueue::new();
+/// queue.record_usage("heavy", 500.0).unwrap();
+/// queue.push(QueuedRequest {
+///     id: 0, user: "heavy".into(), requested_seconds: 100.0, submitted_at: 0.0,
+/// });
+/// let placements = [Placement { device: 0, circuits: 10, quality_weight: 1.0 }];
+/// let probe = QueuedRequest {
+///     id: 99, user: "light".into(), requested_seconds: 10.0, submitted_at: 1.0,
+/// };
+/// let est = estimate_feasibility_decayed(&placements, &devices, &[1.0], 1.0, QueueModel {
+///     queue: &queue,
+///     probe: &probe,
+///     device_of: |id| (id == 0).then_some(0),
+///     decay: UsageDecayModel::none(),
+/// });
+/// // The light tenant outranks the heavy backlog: no queue delay at all.
+/// assert_eq!(est.queue_seconds, 0.0);
+/// assert_eq!(est.completion, 11.0);
+/// ```
+pub fn estimate_feasibility_decayed<F: Fn(usize) -> Option<usize>>(
+    placements: &[Placement],
+    devices: &[CloudDevice],
+    seconds_per_circuit: &[f64],
+    now: f64,
+    model: QueueModel<'_, F>,
+) -> FeasibilityEstimate {
+    let ahead = |factor: f64| -> Vec<f64> {
+        // Rank by *actually popping* a decayed clone of the queue — the
+        // dispatcher's own ordering, so projection and dispatch cannot
+        // drift (the analytic [`projected_dispatch_order`] mirror exists
+        // for callers that must not clone, and is property-tested against
+        // this very pop order).
+        let mut ranked = model.queue.clone();
+        ranked
+            .decay_usage(factor)
+            .expect("factor validated by the decay model");
+        ranked.push(model.probe.clone());
+        let mut ahead = vec![0.0; devices.len()];
+        while let Some(popped) = ranked.pop() {
+            if popped.id == model.probe.id {
+                break;
+            }
+            if let Some(device) = (model.device_of)(popped.id) {
+                if device < ahead.len() {
+                    ahead[device] += popped.requested_seconds;
+                }
+            }
+        }
+        ahead
+    };
+    let naive = project_placements(placements, devices, seconds_per_circuit, now, &ahead(1.0));
+    let factor = model.decay.factor_between(now, now + naive.queue_seconds);
+    if factor >= 1.0 {
+        return naive;
+    }
+    project_placements(
+        placements,
+        devices,
+        seconds_per_circuit,
+        now,
+        &ahead(factor),
+    )
 }
 
 /// One shard of a QuSplit-style restart split: a same-tier device plus the
@@ -595,6 +891,202 @@ mod tests {
         assert!(!est.meets(24.0, 1.0));
         assert_eq!(est.slack(30.0), 6.0);
         assert_eq!(est.slack(20.0), -4.0);
+    }
+
+    #[test]
+    fn meets_edge_cases_fail_closed() {
+        let est = |completion: f64| FeasibilityEstimate {
+            queue_seconds: 0.0,
+            service_seconds: 1.0,
+            completion,
+        };
+        // Zero margin: boundary inclusive.
+        assert!(est(10.0).meets(10.0, 0.0));
+        // Negative margin loosens the check past the deadline.
+        assert!(est(12.0).meets(10.0, -3.0));
+        assert!(!est(12.0).meets(10.0, -1.0));
+        // An infinite deadline is met by any finite projection...
+        assert!(est(1e300).meets(f64::INFINITY, 0.0));
+        // ...but not by a non-finite one.
+        assert!(!est(f64::INFINITY).meets(f64::INFINITY, 0.0));
+        // NaN anywhere rejects as infeasible: every NaN comparison is false.
+        assert!(!est(f64::NAN).meets(10.0, 0.0));
+        assert!(!est(f64::NAN).meets(f64::INFINITY, -1e9));
+        assert!(!est(10.0).meets(f64::NAN, 0.0));
+        assert!(!est(10.0).meets(20.0, f64::NAN));
+        // Slack mirrors the same orientation.
+        assert_eq!(est(15.0).slack(20.0), 5.0);
+        assert!(est(f64::NAN).slack(20.0).is_nan());
+    }
+
+    fn req(id: usize, user: &str, seconds: f64, at: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            user: user.into(),
+            requested_seconds: seconds,
+            submitted_at: at,
+        }
+    }
+
+    #[test]
+    fn projected_order_matches_real_drain() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 400.0).unwrap();
+        q.record_usage("light", 10.0).unwrap();
+        q.push(req(0, "heavy", 5.0, 0.0));
+        q.push(req(1, "light", 5.0, 1.0));
+        q.push(req(2, "light", 5.0, 2.0));
+        q.push(req(3, "fresh", 5.0, 3.0));
+        let projected = projected_dispatch_order(&q, 1.0);
+        let drained: Vec<usize> = q.clone().drain_ordered().iter().map(|r| r.id).collect();
+        assert_eq!(projected, drained);
+        assert_eq!(projected[0], 3, "the unburdened tenant pops first");
+    }
+
+    #[test]
+    fn projected_order_breaks_full_ties_by_insertion() {
+        // Identical user, size, and submission time: real dispatch pops in
+        // insertion order (min_by keeps the first of equals), and the
+        // projection must agree.
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 5.0, 1.0));
+        q.push(req(1, "a", 5.0, 1.0));
+        q.push(req(2, "a", 5.0, 1.0));
+        let projected = projected_dispatch_order(&q, 1.0);
+        let drained: Vec<usize> = q.clone().drain_ordered().iter().map(|r| r.id).collect();
+        assert_eq!(projected, drained);
+        assert_eq!(projected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn projected_order_shifts_under_decay() {
+        // The heavy tenant's balance decays to nothing: with full amnesty
+        // its earlier submission outranks the light tenant's.
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 1000.0).unwrap();
+        q.push(req(0, "heavy", 5.0, 0.0));
+        q.push(req(1, "light", 5.0, 1.0));
+        assert_eq!(projected_dispatch_order(&q, 1.0), vec![1, 0]);
+        assert_eq!(projected_dispatch_order(&q, 0.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn decayed_feasibility_charges_only_outranking_work() {
+        let devices = vec![CloudDevice::new(0, 0.9, 1.0)];
+        let placements = [Placement {
+            device: 0,
+            circuits: 10,
+            quality_weight: 1.0,
+        }];
+        let mut q = FairShareQueue::new();
+        q.record_usage("rival", 50.0).unwrap();
+        q.push(req(0, "rival", 30.0, 0.0));
+        // A probe from a tenant heavier than the rival queues behind the
+        // rival's 30s of work; a lighter probe queues ahead of it.
+        let heavy_probe = |mut queue: FairShareQueue| {
+            queue.record_usage("newcomer", 500.0).unwrap();
+            estimate_feasibility_decayed(
+                &placements,
+                &devices,
+                &[1.0],
+                0.0,
+                QueueModel {
+                    queue: &queue,
+                    probe: &req(9, "newcomer", 10.0, 1.0),
+                    device_of: |id| (id == 0).then_some(0),
+                    decay: UsageDecayModel::none(),
+                },
+            )
+        };
+        let heavy = heavy_probe(q.clone());
+        assert_eq!(heavy.queue_seconds, 30.0);
+        assert_eq!(heavy.completion, 40.0);
+        let light = estimate_feasibility_decayed(
+            &placements,
+            &devices,
+            &[1.0],
+            0.0,
+            QueueModel {
+                queue: &q,
+                probe: &req(9, "newcomer", 10.0, 1.0),
+                device_of: |id| (id == 0).then_some(0),
+                decay: UsageDecayModel::none(),
+            },
+        );
+        assert_eq!(light.queue_seconds, 0.0, "outranked work does not delay");
+        assert_eq!(light.completion, 10.0);
+    }
+
+    #[test]
+    fn decayed_feasibility_projects_epochs_until_start() {
+        // Committed backlog of 100s delays any start to t=100; with a decay
+        // epoch of 30s every balance has decayed 3 times by then (factor
+        // 0.125), which shrinks the rival's balance advantage below the
+        // probe's larger request-size penalty — so the rival's queued work
+        // is projected to outrank the probe after all.
+        let mut devices = vec![CloudDevice::new(0, 0.9, 1.0)];
+        devices[0].schedule(0.0, 100.0);
+        let placements = [Placement {
+            device: 0,
+            circuits: 10,
+            quality_weight: 1.0,
+        }];
+        let mut q = FairShareQueue::new();
+        q.record_usage("rival", 120.0).unwrap();
+        q.record_usage("newcomer", 20.0).unwrap();
+        q.push(req(0, "rival", 4.0, 0.0));
+        let probe = req(9, "newcomer", 30.0, 1.0);
+        let device_of = |id: usize| (id == 0).then_some(0);
+        let undecayed = estimate_feasibility_decayed(
+            &placements,
+            &devices,
+            &[1.0],
+            0.0,
+            QueueModel {
+                queue: &q,
+                probe: &probe,
+                device_of,
+                decay: UsageDecayModel::none(),
+            },
+        );
+        assert_eq!(
+            undecayed.queue_seconds, 100.0,
+            "without decay the probe outranks the heavier rival"
+        );
+        let decayed = estimate_feasibility_decayed(
+            &placements,
+            &devices,
+            &[1.0],
+            0.0,
+            QueueModel {
+                queue: &q,
+                probe: &probe,
+                device_of,
+                decay: UsageDecayModel::every(30.0, 0.5),
+            },
+        );
+        assert_eq!(
+            decayed.queue_seconds, 104.0,
+            "by the projected start the rival outranks the probe"
+        );
+    }
+
+    #[test]
+    fn usage_decay_model_counts_epoch_boundaries() {
+        let model = UsageDecayModel::every(10.0, 0.5);
+        assert_eq!(model.epochs_between(0.0, 9.9), 0);
+        assert_eq!(model.epochs_between(0.0, 10.0), 1);
+        assert_eq!(model.epochs_between(12.0, 35.0), 2);
+        assert_eq!(model.epochs_between(5.0, 5.0), 0);
+        assert_eq!(
+            model.epochs_between(20.0, 5.0),
+            0,
+            "time only moves forward"
+        );
+        assert_eq!(model.factor_between(0.0, 25.0), 0.25);
+        let off = UsageDecayModel::none();
+        assert_eq!(off.epochs_between(0.0, 1e12), 0);
+        assert_eq!(off.factor_between(0.0, 1e12), 1.0);
     }
 
     #[test]

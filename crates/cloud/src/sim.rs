@@ -88,6 +88,16 @@ impl SimulationResult {
 /// Per-device utilization of a fleet: each device's busy seconds over the
 /// shared makespan. All zeros when the makespan is zero. Shared by the
 /// queue simulator and the multi-tenant orchestrator.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::sim::{mean_utilization, utilization};
+///
+/// assert_eq!(utilization(&[5.0, 10.0], 10.0), vec![0.5, 1.0]);
+/// assert_eq!(mean_utilization(&[5.0, 10.0], 10.0), 0.75);
+/// assert_eq!(utilization(&[5.0], 0.0), vec![0.0], "idle fleet");
+/// ```
 pub fn utilization(device_busy: &[f64], makespan: f64) -> Vec<f64> {
     if makespan <= 0.0 {
         return vec![0.0; device_busy.len()];

@@ -38,6 +38,21 @@ impl Default for WorkloadConfig {
 
 /// Generates the job list, ordered by arrival time.
 ///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+///
+/// let jobs = generate_workload(&WorkloadConfig {
+///     n_jobs: 50,
+///     vqa_ratio: 0.4,
+///     ..WorkloadConfig::default()
+/// });
+/// assert_eq!(jobs.len(), 50);
+/// assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// assert!(jobs.iter().any(|j| j.is_vqa) && jobs.iter().any(|j| !j.is_vqa));
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `vqa_ratio` is outside `[0, 1]` or `n_jobs == 0`.

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use qoncord_cloud::device::{hypothetical_fleet, CloudDevice};
 use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
-use qoncord_cloud::policy::{merge_shard_results, split_restarts, Policy};
+use qoncord_cloud::policy::{
+    merge_shard_results, projected_dispatch_order, split_restarts, Policy,
+};
 use qoncord_cloud::sim::simulate;
 use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
 use rand::rngs::StdRng;
@@ -249,6 +251,41 @@ proptest! {
         // refuses rather than misattributing.
         let partial = &outcomes[1..];
         prop_assert_eq!(merge_shard_results(partial.iter().copied(), n_restarts), None);
+    }
+
+    /// The decay-aware queue projection matches the fair-share queue's real
+    /// pop order on random balances: ranking a *decayed copy* of the queue
+    /// analytically (`projected_dispatch_order`) yields exactly the ids the
+    /// queue itself would pop after `decay_usage` — the contract that lets
+    /// admission-time feasibility reason about queue position without
+    /// running the dispatcher.
+    #[test]
+    fn projected_queue_order_matches_pop_order(
+        balances in proptest::collection::vec(0.0..500.0f64, 4),
+        requests in proptest::collection::vec((0usize..4, 0..4u8), 1..24),
+        decay_tenths in 0..11u32,
+    ) {
+        let decay_factor = decay_tenths as f64 / 10.0;
+        let mut q = FairShareQueue::new();
+        for (user, balance) in balances.iter().enumerate() {
+            q.record_usage(&format!("user-{user}"), *balance).unwrap();
+        }
+        for (id, (user, size)) in requests.iter().enumerate() {
+            q.push(QueuedRequest {
+                id,
+                user: format!("user-{user}"),
+                // Sizes from a small discrete set, submission times shared
+                // by consecutive triples: full score-and-time ties (which
+                // real dispatch breaks by insertion order) are reachable.
+                requested_seconds: [1.0, 2.0, 5.0, 10.0][*size as usize],
+                submitted_at: (id / 3) as f64,
+            });
+        }
+        let projected = projected_dispatch_order(&q, decay_factor);
+        let mut realized = q.clone();
+        realized.decay_usage(decay_factor).unwrap();
+        let popped: Vec<usize> = realized.drain_ordered().iter().map(|r| r.id).collect();
+        prop_assert_eq!(projected, popped);
     }
 
     /// Device schedules never overlap: committed busy time within any

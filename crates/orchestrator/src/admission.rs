@@ -80,17 +80,72 @@ pub enum AdmissionMode {
     Downgrade,
     /// Refuse infeasible jobs outright; they never run.
     Reject,
+    /// Like [`Reject`](AdmissionMode::Reject), but the static
+    /// [`safety_margin`](AdmissionConfig::safety_margin) is replaced by the
+    /// per-tier/per-class margin a
+    /// [`MarginModel`](crate::calibration::MarginModel) has learned from
+    /// realized estimate errors (the static margin remains the fallback
+    /// until the model has samples).
+    Calibrated,
 }
 
 /// Tuning of the admission controller.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// All margins in this module are **seconds of virtual time**: a margin of
+/// `m` demands the projected completion beat the deadline by at least `m`
+/// seconds (negative `m` tolerates projections up to `-m` seconds past it).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
     /// What to do with jobs whose deadline the projection says will be
     /// missed.
     pub mode: AdmissionMode,
-    /// Safety margin, seconds: the projection must beat the deadline by at
-    /// least this much to count as feasible (absorbs estimate error).
+    /// Static safety margin, seconds: the projection must beat the deadline
+    /// by at least this much to count as feasible (absorbs estimate
+    /// error). Under [`AdmissionMode::Calibrated`] this is only the
+    /// fallback while the margin model is still warming up.
     pub safety_margin: f64,
+    /// Whether feasibility projections model the fair-share queue under
+    /// virtual-time usage decay
+    /// ([`estimate_feasibility_decayed`](qoncord_cloud::policy::estimate_feasibility_decayed)):
+    /// queued work the job outranks no longer counts against it, and decay
+    /// epochs projected to pass before its start re-rank the queue the way
+    /// dispatch will. Off, projections charge every device's whole backlog
+    /// (the pre-calibration behavior).
+    pub decay_aware: bool,
+}
+
+/// The single source of the admission defaults: admit-all, a zero static
+/// margin, and backlog-only (decay-blind) projections.
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            mode: AdmissionMode::default(),
+            safety_margin: 0.0,
+            decay_aware: false,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A controller in the given mode with the default margin and
+    /// projection model — the literal `AdmissionConfig { mode, ..default }`
+    /// every call site used to spell out.
+    pub fn with_mode(mode: AdmissionMode) -> Self {
+        AdmissionConfig {
+            mode,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// The calibrated closed loop: learned margins and decay-aware
+    /// projections.
+    pub fn calibrated() -> Self {
+        AdmissionConfig {
+            mode: AdmissionMode::Calibrated,
+            decay_aware: true,
+            ..AdmissionConfig::default()
+        }
+    }
 }
 
 /// The controller's verdict on one arriving job.
@@ -104,8 +159,9 @@ pub enum AdmissionDecision {
     Reject,
 }
 
-/// The full outcome: decision, the deadline that survives it, and the
-/// feasibility projection that justified it.
+/// The full outcome: decision, the deadline that survives it, the
+/// feasibility projection that justified it, and the margin it was judged
+/// under.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionOutcome {
     /// The verdict.
@@ -119,9 +175,40 @@ pub struct AdmissionOutcome {
     pub assessed_deadline: Option<f64>,
     /// The load projection the verdict was based on.
     pub estimate: FeasibilityEstimate,
+    /// The safety margin (seconds) the feasibility check applied — the
+    /// static configuration value, or the learned per-tier margin under
+    /// [`AdmissionMode::Calibrated`].
+    pub margin: f64,
 }
 
 /// Deadline-aware admission control over fleet-load projections.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::policy::FeasibilityEstimate;
+/// use qoncord_orchestrator::admission::{
+///     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode, Deadline,
+/// };
+///
+/// let ctl = AdmissionController::new(AdmissionConfig::with_mode(AdmissionMode::Reject));
+/// let estimate = FeasibilityEstimate {
+///     queue_seconds: 10.0,
+///     service_seconds: 20.0,
+///     completion: 30.0,
+/// };
+/// // Projected to finish at t=30: a t=40 deadline admits, t=25 rejects.
+/// let ok = ctl.assess(0.0, Some(Deadline::At(40.0)), estimate);
+/// assert_eq!(ok.decision, AdmissionDecision::Admit);
+/// assert_eq!(ok.deadline, Some(40.0));
+/// let late = ctl.assess(0.0, Some(Deadline::At(25.0)), estimate);
+/// assert_eq!(late.decision, AdmissionDecision::Reject);
+/// // A learned margin overrides the static one per assessment: −10s of
+/// // margin (projections known to run 10s hot) admits the t=25 deadline.
+/// let relearned = ctl.assess_with_margin(0.0, Some(Deadline::At(25.0)), estimate, -10.0);
+/// assert_eq!(relearned.decision, AdmissionDecision::Admit);
+/// assert_eq!(relearned.margin, -10.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AdmissionController {
     config: AdmissionConfig,
@@ -135,12 +222,28 @@ impl AdmissionController {
 
     /// Assesses one arriving job: `deadline` is the job's submitted SLA (if
     /// any), `arrival` its submission time, and `estimate` the fleet-load
-    /// projection of its placements.
+    /// projection of its placements. Feasibility uses the configured static
+    /// [`safety_margin`](AdmissionConfig::safety_margin).
     pub fn assess(
         &self,
         arrival: f64,
         deadline: Option<Deadline>,
         estimate: FeasibilityEstimate,
+    ) -> AdmissionOutcome {
+        self.assess_with_margin(arrival, deadline, estimate, self.config.safety_margin)
+    }
+
+    /// Assesses one arriving job under an explicit safety `margin`
+    /// (seconds; negative loosens the check). This is the entry point for
+    /// [`AdmissionMode::Calibrated`]: the engine passes the margin its
+    /// [`MarginModel`](crate::calibration::MarginModel) has learned for the
+    /// job's tier and service class.
+    pub fn assess_with_margin(
+        &self,
+        arrival: f64,
+        deadline: Option<Deadline>,
+        estimate: FeasibilityEstimate,
+        margin: f64,
     ) -> AdmissionOutcome {
         let Some(deadline) = deadline.map(|d| d.resolve(arrival, estimate.service_seconds)) else {
             return AdmissionOutcome {
@@ -148,14 +251,15 @@ impl AdmissionController {
                 deadline: None,
                 assessed_deadline: None,
                 estimate,
+                margin,
             };
         };
-        let feasible = estimate.meets(deadline, self.config.safety_margin);
+        let feasible = estimate.meets(deadline, margin);
         let decision = match self.config.mode {
             AdmissionMode::AdmitAll => AdmissionDecision::Admit,
             _ if feasible => AdmissionDecision::Admit,
             AdmissionMode::Downgrade => AdmissionDecision::Downgrade,
-            AdmissionMode::Reject => AdmissionDecision::Reject,
+            AdmissionMode::Reject | AdmissionMode::Calibrated => AdmissionDecision::Reject,
         };
         AdmissionOutcome {
             decision,
@@ -165,6 +269,7 @@ impl AdmissionController {
             },
             assessed_deadline: Some(deadline),
             estimate,
+            margin,
         }
     }
 }
@@ -190,10 +295,7 @@ mod tests {
 
     #[test]
     fn deadline_free_jobs_always_admit() {
-        let ctl = AdmissionController::new(AdmissionConfig {
-            mode: AdmissionMode::Reject,
-            safety_margin: 0.0,
-        });
+        let ctl = AdmissionController::new(AdmissionConfig::with_mode(AdmissionMode::Reject));
         let out = ctl.assess(0.0, None, estimate(1e9, 1.0, 0.0));
         assert_eq!(out.decision, AdmissionDecision::Admit);
         assert_eq!(out.deadline, None);
@@ -206,11 +308,9 @@ mod tests {
             AdmissionMode::AdmitAll,
             AdmissionMode::Downgrade,
             AdmissionMode::Reject,
+            AdmissionMode::Calibrated,
         ] {
-            let ctl = AdmissionController::new(AdmissionConfig {
-                mode,
-                safety_margin: 0.0,
-            });
+            let ctl = AdmissionController::new(AdmissionConfig::with_mode(mode));
             let out = ctl.assess(0.0, Some(Deadline::At(100.0)), estimate(10.0, 20.0, 0.0));
             assert_eq!(out.decision, AdmissionDecision::Admit, "{mode:?}");
             assert_eq!(out.deadline, Some(100.0));
@@ -229,20 +329,15 @@ mod tests {
             "AdmitAll keeps the SLA on record"
         );
 
-        let downgrade = AdmissionController::new(AdmissionConfig {
-            mode: AdmissionMode::Downgrade,
-            safety_margin: 0.0,
-        })
-        .assess(0.0, deadline, hopeless);
+        let downgrade =
+            AdmissionController::new(AdmissionConfig::with_mode(AdmissionMode::Downgrade))
+                .assess(0.0, deadline, hopeless);
         assert_eq!(downgrade.decision, AdmissionDecision::Downgrade);
         assert_eq!(downgrade.deadline, None, "downgrade strips the SLA");
         assert_eq!(downgrade.assessed_deadline, Some(60.0));
 
-        let reject = AdmissionController::new(AdmissionConfig {
-            mode: AdmissionMode::Reject,
-            safety_margin: 0.0,
-        })
-        .assess(0.0, deadline, hopeless);
+        let reject = AdmissionController::new(AdmissionConfig::with_mode(AdmissionMode::Reject))
+            .assess(0.0, deadline, hopeless);
         assert_eq!(reject.decision, AdmissionDecision::Reject);
     }
 
@@ -252,6 +347,7 @@ mod tests {
             AdmissionController::new(AdmissionConfig {
                 mode: AdmissionMode::Reject,
                 safety_margin: margin,
+                ..AdmissionConfig::default()
             })
         };
         let est = estimate(10.0, 10.0, 0.0); // completes at 20
@@ -268,10 +364,7 @@ mod tests {
 
     #[test]
     fn class_deadlines_resolve_against_projected_service() {
-        let ctl = AdmissionController::new(AdmissionConfig {
-            mode: AdmissionMode::Reject,
-            safety_margin: 0.0,
-        });
+        let ctl = AdmissionController::new(AdmissionConfig::with_mode(AdmissionMode::Reject));
         // Interactive allows 2× service: 20s of service admits only if the
         // queue delay stays within another 20s.
         let ok = ctl.assess(

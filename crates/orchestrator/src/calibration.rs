@@ -1,0 +1,407 @@
+//! Closed-loop calibration of admission-time feasibility projections.
+//!
+//! The admission controller compares a job's projected completion against
+//! its deadline with a safety margin. A *static* margin has to be guessed
+//! once for the whole fleet: set it low and systematically optimistic
+//! projections admit jobs that then miss their SLAs; set it high and every
+//! tier pays the worst tier's penalty in false rejections. The
+//! [`MarginModel`] closes the loop instead: every completed job contributes
+//! one *estimate error* sample — realized completion minus the projection
+//! recorded at admission — keyed by the job's device tier and service
+//! class, and the margin applied to the next arrival of that key is a
+//! sliding-window quantile (P90 by default) of those errors. Tiers whose
+//! projections run hot earn a positive margin; tiers whose projections run
+//! cold (e.g. because restart triage prunes most of the projected work)
+//! earn a *negative* one, which is what eliminates false rejections.
+//!
+//! Denied jobs never realize a completion, so they contribute no error
+//! sample — but they are recorded in the model's history, which is how
+//! telemetry exposes the margin trajectory that produced each denial.
+//!
+//! [`AdmissionMode::Calibrated`](crate::admission::AdmissionMode::Calibrated)
+//! switches the engine from the static margin to this model.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::admission::Deadline;
+
+/// Tuning of the [`MarginModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// The error quantile the margin tracks, in `(0, 1]`. 0.9 means the
+    /// margin absorbs the 90th-percentile estimate error of the key's
+    /// recent jobs.
+    pub quantile: f64,
+    /// Sliding-window length per key: only the most recent `window` error
+    /// samples of a key inform its margin, so the model tracks drift
+    /// instead of averaging over the whole run.
+    pub window: usize,
+    /// Samples a key needs before its learned margin is trusted. Below
+    /// this, the model falls back to the tier's pooled samples, then to
+    /// all samples, then to the static fallback margin.
+    pub min_samples: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            quantile: 0.9,
+            window: 64,
+            min_samples: 4,
+        }
+    }
+}
+
+/// The service class a job's deadline shape sorts it into — one axis of
+/// the calibration key (estimate error differs systematically between,
+/// say, interactive jobs that run at high priority and batch jobs that
+/// get evicted for them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// [`DeadlineClass::Interactive`](crate::admission::DeadlineClass).
+    Interactive,
+    /// [`DeadlineClass::Standard`](crate::admission::DeadlineClass).
+    Standard,
+    /// [`DeadlineClass::Batch`](crate::admission::DeadlineClass).
+    Batch,
+    /// An absolute [`Deadline::At`] deadline.
+    Absolute,
+    /// No deadline at all. Best-effort jobs are never denied, which makes
+    /// them unbiased error probes: their samples keep a key learning even
+    /// while the controller is rejecting everything else in it.
+    BestEffort,
+}
+
+impl ServiceClass {
+    /// The class of a job submitted with `deadline`.
+    pub fn of(deadline: Option<Deadline>) -> Self {
+        use crate::admission::DeadlineClass;
+        match deadline {
+            None => ServiceClass::BestEffort,
+            Some(Deadline::At(_)) => ServiceClass::Absolute,
+            Some(Deadline::Class(DeadlineClass::Interactive)) => ServiceClass::Interactive,
+            Some(Deadline::Class(DeadlineClass::Standard)) => ServiceClass::Standard,
+            Some(Deadline::Class(DeadlineClass::Batch)) => ServiceClass::Batch,
+        }
+    }
+}
+
+/// The calibration key: which error population a job's outcome feeds and
+/// which learned margin its admission uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarginKey {
+    /// Device tier of the job's ladder entry device (tiers rank the
+    /// fleet's distinct advertised fidelities, 0 = lowest). Estimates are
+    /// tier-dependent — a QuSplit-style LF tier drains restarts it will
+    /// later prune, an HF tier serves evicting interactive traffic — so
+    /// margins must be too.
+    pub tier: usize,
+    /// Deadline shape of the job.
+    pub class: ServiceClass,
+}
+
+/// One entry of the model's learning history: an ingested outcome and the
+/// margin its key carries *after* ingesting it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginSnapshot {
+    /// Virtual time of the outcome (completion or denial).
+    pub time: f64,
+    /// The key the outcome fed.
+    pub key: MarginKey,
+    /// Realized-minus-projected completion seconds, `None` for a denial
+    /// (denied jobs never realize a completion).
+    pub error: Option<f64>,
+    /// The margin [`MarginModel::margin_for`] returns for this key after
+    /// the outcome.
+    pub margin: f64,
+    /// Error samples in the key's window after the outcome.
+    pub samples: usize,
+}
+
+/// Per-tier/per-class estimate-error quantiles that replace the static
+/// admission safety margin.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_orchestrator::calibration::{
+///     CalibrationConfig, MarginKey, MarginModel, ServiceClass,
+/// };
+///
+/// let key = MarginKey { tier: 0, class: ServiceClass::Batch };
+/// let mut model = MarginModel::new(5.0, CalibrationConfig::default());
+/// // Until enough outcomes arrive, the static fallback margin applies.
+/// assert_eq!(model.margin_for(key), 5.0);
+/// // Ten jobs complete ~40s *earlier* than projected: the estimates are
+/// // systematically pessimistic, and the learned margin goes negative.
+/// for job in 0..10 {
+///     let projected = 100.0 * job as f64;
+///     model.record_completion(projected, key, projected, projected - 40.0);
+/// }
+/// assert!(model.margin_for(key) < -35.0);
+/// assert_eq!(model.history().len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarginModel {
+    fallback_margin: f64,
+    config: CalibrationConfig,
+    windows: HashMap<MarginKey, VecDeque<f64>>,
+    history: Vec<MarginSnapshot>,
+    denials: u64,
+}
+
+impl MarginModel {
+    /// Creates a model that answers `fallback_margin` (the static margin,
+    /// seconds) until a key has accumulated enough samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantile lies outside `(0, 1]`, the window is empty,
+    /// `min_samples` is zero, or the fallback margin is not finite.
+    pub fn new(fallback_margin: f64, config: CalibrationConfig) -> Self {
+        assert!(
+            config.quantile > 0.0 && config.quantile <= 1.0,
+            "quantile must lie in (0, 1]"
+        );
+        assert!(config.window > 0, "window must hold at least one sample");
+        assert!(config.min_samples > 0, "min_samples must be positive");
+        assert!(
+            fallback_margin.is_finite(),
+            "fallback margin must be finite"
+        );
+        MarginModel {
+            fallback_margin,
+            config,
+            windows: HashMap::new(),
+            history: Vec::new(),
+            denials: 0,
+        }
+    }
+
+    /// The safety margin (seconds, possibly negative) admission should
+    /// apply to a job of `key` right now: the configured quantile of the
+    /// key's error window, falling back to the tier's pooled windows, then
+    /// to all windows, then to the static fallback margin — whichever first
+    /// holds at least [`CalibrationConfig::min_samples`] samples.
+    pub fn margin_for(&self, key: MarginKey) -> f64 {
+        let exact: Vec<f64> = self
+            .windows
+            .get(&key)
+            .map(|w| w.iter().copied().collect())
+            .unwrap_or_default();
+        if exact.len() >= self.config.min_samples {
+            return quantile(exact, self.config.quantile);
+        }
+        let tier: Vec<f64> = self
+            .windows
+            .iter()
+            .filter(|(k, _)| k.tier == key.tier)
+            .flat_map(|(_, w)| w.iter().copied())
+            .collect();
+        if tier.len() >= self.config.min_samples {
+            return quantile(tier, self.config.quantile);
+        }
+        let all: Vec<f64> = self
+            .windows
+            .values()
+            .flat_map(|w| w.iter().copied())
+            .collect();
+        if all.len() >= self.config.min_samples {
+            return quantile(all, self.config.quantile);
+        }
+        self.fallback_margin
+    }
+
+    /// Ingests a completed job: `projected` is the completion the admission
+    /// estimate promised, `realized` the virtual time it actually finished
+    /// (SLA misses arrive through here too — a late completion *is* the
+    /// miss signal, as a large positive error). `time` stamps the history
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `projected` or `realized` is not finite.
+    pub fn record_completion(&mut self, time: f64, key: MarginKey, projected: f64, realized: f64) {
+        assert!(
+            projected.is_finite() && realized.is_finite(),
+            "completions must be finite times"
+        );
+        let window = self.windows.entry(key).or_default();
+        window.push_back(realized - projected);
+        while window.len() > self.config.window {
+            window.pop_front();
+        }
+        self.snapshot(time, key, Some(realized - projected));
+    }
+
+    /// Ingests a denied job. Denials carry no realized completion and feed
+    /// no error window; they are recorded in the history so telemetry can
+    /// correlate each denial with the margin that produced it.
+    pub fn record_denial(&mut self, time: f64, key: MarginKey) {
+        self.denials += 1;
+        self.snapshot(time, key, None);
+    }
+
+    /// Error samples currently in `key`'s window.
+    pub fn samples(&self, key: MarginKey) -> usize {
+        self.windows.get(&key).map_or(0, VecDeque::len)
+    }
+
+    /// Denials ingested so far.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// The full learning history, in ingestion order.
+    pub fn history(&self) -> &[MarginSnapshot] {
+        &self.history
+    }
+
+    /// Consumes the model into its history (end-of-run telemetry).
+    pub fn into_history(self) -> Vec<MarginSnapshot> {
+        self.history
+    }
+
+    fn snapshot(&mut self, time: f64, key: MarginKey, error: Option<f64>) {
+        let snapshot = MarginSnapshot {
+            time,
+            key,
+            error,
+            margin: self.margin_for(key),
+            samples: self.samples(key),
+        };
+        self.history.push(snapshot);
+    }
+}
+
+/// Nearest-rank quantile of `values` (sorted internally, so callers may
+/// pass pooled samples in any order).
+fn quantile(mut values: Vec<f64>, q: f64) -> f64 {
+    debug_assert!(!values.is_empty(), "quantile of an empty sample set");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let rank = (q * values.len() as f64).ceil() as usize;
+    values[rank.clamp(1, values.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::DeadlineClass;
+
+    fn key(tier: usize, class: ServiceClass) -> MarginKey {
+        MarginKey { tier, class }
+    }
+
+    #[test]
+    fn fallback_until_min_samples_then_quantile() {
+        let k = key(0, ServiceClass::Batch);
+        let mut model = MarginModel::new(7.5, CalibrationConfig::default());
+        assert_eq!(model.margin_for(k), 7.5);
+        for i in 0..3 {
+            model.record_completion(i as f64, k, 10.0, 10.0 + i as f64);
+        }
+        assert_eq!(model.margin_for(k), 7.5, "3 samples < min_samples=4");
+        model.record_completion(3.0, k, 10.0, 13.0);
+        // Errors {0, 1, 2, 3}: P90 nearest-rank = 3.
+        assert_eq!(model.margin_for(k), 3.0);
+    }
+
+    #[test]
+    fn margins_are_per_key_with_tier_and_global_fallback() {
+        let lf = key(0, ServiceClass::Batch);
+        let lf_probe = key(0, ServiceClass::BestEffort);
+        let hf = key(1, ServiceClass::Interactive);
+        let mut model = MarginModel::new(0.0, CalibrationConfig::default());
+        for i in 0..8 {
+            model.record_completion(i as f64, lf, 100.0, 130.0); // +30 hot
+            model.record_completion(i as f64, hf, 100.0, 90.0); // -10 cold
+        }
+        assert_eq!(model.margin_for(lf), 30.0);
+        assert_eq!(model.margin_for(hf), -10.0);
+        // A fresh class on the LF tier pools the tier's samples...
+        assert_eq!(model.margin_for(lf_probe), 30.0);
+        // ...and a fresh tier pools everything (P90 of {+30×8, −10×8}).
+        assert_eq!(model.margin_for(key(9, ServiceClass::Standard)), 30.0);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_bias() {
+        let k = key(0, ServiceClass::Absolute);
+        let mut model = MarginModel::new(
+            0.0,
+            CalibrationConfig {
+                window: 4,
+                min_samples: 2,
+                ..CalibrationConfig::default()
+            },
+        );
+        for i in 0..10 {
+            model.record_completion(i as f64, k, 50.0, 90.0); // +40 era
+        }
+        assert_eq!(model.margin_for(k), 40.0);
+        for i in 10..14 {
+            model.record_completion(i as f64, k, 50.0, 45.0); // -5 era
+        }
+        assert_eq!(model.samples(k), 4);
+        assert_eq!(model.margin_for(k), -5.0, "the +40 era has aged out");
+    }
+
+    #[test]
+    fn history_tracks_completions_and_denials() {
+        let k = key(1, ServiceClass::Batch);
+        let mut model = MarginModel::new(2.0, CalibrationConfig::default());
+        model.record_completion(5.0, k, 10.0, 16.0);
+        model.record_denial(6.0, k);
+        assert_eq!(model.denials(), 1);
+        let history = model.history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].error, Some(6.0));
+        assert_eq!(history[0].samples, 1);
+        assert_eq!(history[1].error, None, "denials carry no error sample");
+        assert_eq!(history[1].samples, 1, "denials feed no window");
+        assert_eq!(history[1].margin, 2.0, "still on the fallback margin");
+    }
+
+    #[test]
+    fn service_class_of_every_deadline_shape() {
+        assert_eq!(ServiceClass::of(None), ServiceClass::BestEffort);
+        assert_eq!(
+            ServiceClass::of(Some(Deadline::At(5.0))),
+            ServiceClass::Absolute
+        );
+        for (class, expected) in [
+            (DeadlineClass::Interactive, ServiceClass::Interactive),
+            (DeadlineClass::Standard, ServiceClass::Standard),
+            (DeadlineClass::Batch, ServiceClass::Batch),
+        ] {
+            assert_eq!(ServiceClass::of(Some(Deadline::Class(class))), expected);
+        }
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        assert_eq!(quantile(vec![3.0, 1.0, 2.0], 1.0), 3.0);
+        assert_eq!(quantile(vec![3.0, 1.0, 2.0], 0.5), 2.0);
+        assert_eq!(quantile(vec![5.0], 0.9), 5.0);
+        assert_eq!(quantile(vec![1.0, 2.0], 0.01), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn invalid_quantile_rejected() {
+        MarginModel::new(
+            0.0,
+            CalibrationConfig {
+                quantile: 0.0,
+                ..CalibrationConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_completion_rejected() {
+        let mut model = MarginModel::new(0.0, CalibrationConfig::default());
+        model.record_completion(0.0, key(0, ServiceClass::Batch), f64::NAN, 1.0);
+    }
+}

@@ -13,7 +13,8 @@
 //!
 //! # Leases and preemption
 //!
-//! A granted batch occupies its device as a [`Lease`]: the batch's *real*
+//! A granted batch occupies its device as a [`Lease`](crate::lease::Lease):
+//! the batch's *real*
 //! compute is deferred to the lease's expiry, so until then the lease can be
 //! **evicted** — the device is handed to a more urgent tenant immediately,
 //! the recalled batch re-enters the fair-share queue with usage credit for
@@ -24,13 +25,23 @@
 //! by [`Urgency::may_preempt`] whenever a batch request queues behind a
 //! running lease.
 //!
-//! # Admission control
+//! # Admission control and calibration
 //!
 //! Jobs carrying a [`Deadline`](crate::admission::Deadline) are assessed on
 //! arrival: [`estimate_feasibility`] projects their completion from the
 //! current fleet load over the same placements the dispatch policy chose,
 //! and the [`AdmissionController`] admits, downgrades to best-effort, or
-//! rejects per [`AdmissionConfig`].
+//! rejects per [`AdmissionConfig`]. With
+//! [`AdmissionConfig::decay_aware`], the projection instead models the
+//! fair-share queue the way dispatch will run it
+//! ([`estimate_feasibility_decayed`]): queued work the arrival outranks
+//! does not delay it, and usage-decay epochs projected to pass before its
+//! start re-rank the queue. Under
+//! [`AdmissionMode::Calibrated`](crate::admission::AdmissionMode)
+//! the engine also closes the estimate loop: every completion feeds its
+//! realized-vs-projected error into a
+//! [`MarginModel`], and the static safety
+//! margin is replaced by the learned per-tier/per-class error quantile.
 //!
 //! # Splitting and fairness
 //!
@@ -46,7 +57,8 @@
 //! it has been evicted that many times, bounding how hard a stream of
 //! urgent arrivals can starve one victim.
 
-use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode};
+use crate::calibration::{CalibrationConfig, MarginKey, MarginModel, ServiceClass};
 use crate::driver::SelectedDevice;
 use crate::events::{Event, EventQueue};
 use crate::fleet::FleetDevice;
@@ -59,7 +71,10 @@ use crate::telemetry::{
 };
 use qoncord_cloud::device::CloudDevice;
 use qoncord_cloud::fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
-use qoncord_cloud::policy::{estimate_feasibility, place_job, Placement, Policy};
+use qoncord_cloud::policy::{
+    estimate_feasibility, estimate_feasibility_decayed, place_job, Placement, Policy, QueueModel,
+};
+
 use qoncord_core::phase::ShardCheckpoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,51 +122,20 @@ impl PreemptionConfig {
     }
 }
 
-/// Virtual-time decay of fair-share usage: every `epoch_seconds` of the
-/// virtual clock, every tenant's consumed-seconds balance is multiplied by
-/// `factor`, so past-heavy tenants recover dispatch priority instead of
-/// sinking forever. Disabled by default (infinite epoch).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct UsageDecayConfig {
-    /// Virtual seconds between decay epochs (`f64::INFINITY` disables).
-    pub epoch_seconds: f64,
-    /// Multiplier applied to every balance at each epoch, in `[0, 1]`.
-    pub factor: f64,
-}
-
-impl Default for UsageDecayConfig {
-    fn default() -> Self {
-        UsageDecayConfig {
-            epoch_seconds: f64::INFINITY,
-            factor: 1.0,
-        }
-    }
-}
-
-impl UsageDecayConfig {
-    /// Decay by `factor` every `epoch_seconds` of virtual time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `epoch_seconds` is not positive or `factor` lies outside
-    /// `[0, 1]`.
-    pub fn every(epoch_seconds: f64, factor: f64) -> Self {
-        assert!(epoch_seconds > 0.0, "decay epoch must be positive");
-        assert!(
-            factor.is_finite() && (0.0..=1.0).contains(&factor),
-            "decay factor must lie in [0, 1]"
-        );
-        UsageDecayConfig {
-            epoch_seconds,
-            factor,
-        }
-    }
-
-    /// Whether any epoch will ever change a balance.
-    pub fn is_enabled(&self) -> bool {
-        self.epoch_seconds.is_finite() && self.factor < 1.0
-    }
-}
+/// Virtual-time decay of fair-share usage: every
+/// [`epoch_seconds`](qoncord_cloud::policy::UsageDecayModel::epoch_seconds)
+/// of the virtual clock, every tenant's consumed-seconds balance is
+/// multiplied by
+/// [`factor`](qoncord_cloud::policy::UsageDecayModel::factor), so
+/// past-heavy tenants recover dispatch priority instead of sinking
+/// forever. Disabled by default (infinite epoch).
+///
+/// This is a re-export of the cloud layer's
+/// [`UsageDecayModel`](qoncord_cloud::policy::UsageDecayModel) — the same
+/// type the decay-aware feasibility projection consumes, so the
+/// dispatcher that applies decay and the admission projection that
+/// anticipates it can never drift apart.
+pub use qoncord_cloud::policy::UsageDecayModel as UsageDecayConfig;
 
 /// Tuning of the orchestration engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,6 +156,11 @@ pub struct OrchestratorConfig {
     pub preemption: PreemptionConfig,
     /// Deadline-aware admission control (admit-all by default).
     pub admission: AdmissionConfig,
+    /// Margin-model tuning for [`AdmissionMode::Calibrated`] (quantile,
+    /// window, warm-up threshold). Outcomes feed the model in every mode —
+    /// the estimate-error telemetry is always recorded — but only the
+    /// calibrated mode *applies* the learned margins.
+    pub calibration: CalibrationConfig,
     /// QuSplit-style restart splitting (disabled by default).
     pub split: SplitConfig,
     /// Virtual-time fair-share usage decay (disabled by default).
@@ -189,6 +178,7 @@ impl Default for OrchestratorConfig {
             priority_credit: 50.0,
             preemption: PreemptionConfig::default(),
             admission: AdmissionConfig::default(),
+            calibration: CalibrationConfig::default(),
             split: SplitConfig::default(),
             decay: UsageDecayConfig::default(),
             seed: 0x09C0,
@@ -326,6 +316,16 @@ struct Sim<'a> {
     in_flight: Vec<HashSet<usize>>,
     /// Decay epochs already applied to the fair-share balances.
     decay_epochs: u64,
+    /// The closed calibration loop: realized-vs-projected completion errors
+    /// per (tier, service class), and the learned margins they imply.
+    margins: MarginModel,
+    /// Per fleet device: its quality tier (rank of its advertised fidelity
+    /// among the fleet's distinct values, 0 = lowest) — one axis of the
+    /// calibration key.
+    device_tier: Vec<usize>,
+    /// Per job: the calibration key its admission used (None until
+    /// admission, and for jobs rejected by the fidelity filter).
+    margin_key: Vec<Option<MarginKey>>,
     telemetry: Vec<JobTelemetry>,
     status: Vec<Option<JobStatus>>,
     /// Per job: the priority it actually runs at (0 after a downgrade).
@@ -348,6 +348,25 @@ struct Sim<'a> {
     reservations: HashMap<usize, Reservation>,
     next_reservation: usize,
     makespan: f64,
+}
+
+/// Ranks the fleet's devices into quality tiers: tier = rank of the
+/// device's advertised fidelity among the fleet's distinct values (0 =
+/// lowest). Twin devices share a tier, which is what lets their calibration
+/// samples pool.
+fn device_tiers(fleet: &[FleetDevice]) -> Vec<usize> {
+    let mut distinct: Vec<f64> = fleet.iter().map(|d| d.advertised_fidelity()).collect();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite fidelities"));
+    distinct.dedup();
+    fleet
+        .iter()
+        .map(|d| {
+            distinct
+                .iter()
+                .position(|f| *f == d.advertised_fidelity())
+                .expect("every fidelity is in the distinct list")
+        })
+        .collect()
 }
 
 impl<'a> Sim<'a> {
@@ -381,6 +400,9 @@ impl<'a> Sim<'a> {
             drivers: jobs.iter().map(|_| None).collect(),
             in_flight: jobs.iter().map(|_| HashSet::new()).collect(),
             decay_epochs: 0,
+            margins: MarginModel::new(config.admission.safety_margin, config.calibration),
+            device_tier: device_tiers(fleet),
+            margin_key: jobs.iter().map(|_| None).collect(),
             telemetry: jobs
                 .iter()
                 .map(|job| JobTelemetry::new(job.arrival, fleet.len()))
@@ -514,13 +536,32 @@ impl<'a> Sim<'a> {
                 }
             })
             .collect();
-        let estimate = estimate_feasibility(&priced, &views, &secs, now);
+        let estimate = if self.config.admission.decay_aware {
+            self.estimate_decay_aware(job, &priced, &secs, ladder_entry, now)
+        } else {
+            estimate_feasibility(&priced, &views, &secs, now)
+        };
+        let key = MarginKey {
+            tier: self.device_tier[ladder_entry],
+            class: ServiceClass::of(spec.deadline),
+        };
+        self.margin_key[job] = Some(key);
+        let margin = match self.config.admission.mode {
+            AdmissionMode::Calibrated => self.margins.margin_for(key),
+            _ => self.config.admission.safety_margin,
+        };
         self.telemetry[job].admission_estimate = Some(estimate);
+        self.telemetry[job].admission_margin = spec.deadline.is_some().then_some(margin);
         self.service_estimate[job] = estimate.service_seconds;
-        let outcome =
-            AdmissionController::new(self.config.admission).assess(now, spec.deadline, estimate);
+        let outcome = AdmissionController::new(self.config.admission).assess_with_margin(
+            now,
+            spec.deadline,
+            estimate,
+            margin,
+        );
         match outcome.decision {
             AdmissionDecision::Reject => {
+                self.margins.record_denial(now, key);
                 self.status[job] = Some(JobStatus::Denied {
                     estimate,
                     deadline: outcome
@@ -577,6 +618,80 @@ impl<'a> Sim<'a> {
         let id = self.next_reservation;
         self.next_reservation += 1;
         id
+    }
+
+    /// Decay-aware feasibility of an arriving job: committed lease backlog
+    /// plus only the queued (ungranted) work the job is projected to rank
+    /// *behind* under fair-share dispatch — with balances aged by the decay
+    /// epochs projected to pass before its start — instead of every
+    /// device's whole backlog.
+    fn estimate_decay_aware(
+        &self,
+        job: usize,
+        priced: &[Placement],
+        secs: &[f64],
+        ladder_entry: usize,
+        now: f64,
+    ) -> qoncord_cloud::policy::FeasibilityEstimate {
+        let committed_views: Vec<CloudDevice> = self
+            .fleet
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mut view = CloudDevice::new(i, d.advertised_fidelity(), d.speed());
+                let remaining = self.leases.active(i).map_or(0.0, |l| l.remaining(now));
+                if remaining > 0.0 {
+                    view.schedule(now, remaining);
+                }
+                view
+            })
+            .collect();
+        let mut device_of: HashMap<usize, usize> = self
+            .reservations
+            .iter()
+            .filter_map(|(id, r)| match r {
+                Reservation::Batch { device, .. } => Some((*id, *device)),
+                Reservation::Hold => None,
+            })
+            .collect();
+        for holds in &self.holds {
+            for &(id, device, _) in holds.values() {
+                device_of.insert(id, device);
+            }
+        }
+        let probe = QueuedRequest {
+            id: usize::MAX,
+            user: self.jobs[job].tenant.clone(),
+            requested_seconds: crate::driver::EXECUTIONS_PER_BATCH_ESTIMATE * secs[ladder_entry],
+            submitted_at: now,
+        };
+        // If the job is admitted, its priority enters fair-share as usage
+        // credit *after* this estimate — rank the probe with that credit
+        // already applied, or the projection would charge a priority job
+        // for queued work its credited requests will in fact outrank.
+        let credit = self.jobs[job].priority as f64 * self.config.priority_credit;
+        let mut credited_queue;
+        let queue = if credit > 0.0 {
+            credited_queue = self.queue.clone();
+            credited_queue
+                .credit_usage(&self.jobs[job].tenant, credit)
+                .expect("priority credit is finite and non-negative");
+            &credited_queue
+        } else {
+            &self.queue
+        };
+        estimate_feasibility_decayed(
+            priced,
+            &committed_views,
+            secs,
+            now,
+            QueueModel {
+                queue,
+                probe: &probe,
+                device_of: |id| device_of.get(&id).copied(),
+                decay: self.config.decay,
+            },
+        )
     }
 
     /// Queues a batch request for every shard of `job` that has pending
@@ -875,6 +990,17 @@ impl<'a> Sim<'a> {
                 "a finished job has no shard in flight"
             );
             self.telemetry[job].completion = Some(now);
+            // Close the calibration loop: the realized completion against
+            // the admission-time projection is one estimate-error sample
+            // for the job's (tier, class) key — an SLA miss arrives here as
+            // a large positive error.
+            if let (Some(key), Some(estimate)) =
+                (self.margin_key[job], self.telemetry[job].admission_estimate)
+            {
+                self.margins
+                    .record_completion(now, key, estimate.completion, now);
+                self.telemetry[job].estimate_error = Some(now - estimate.completion);
+            }
             let spec = &self.jobs[job];
             if self.priority_credit[job] > 0.0 {
                 // Expire the job-scoped priority credit granted at
@@ -965,6 +1091,7 @@ impl<'a> Sim<'a> {
                 makespan: self.makespan,
             },
             tenant_usage,
+            calibration: self.margins.into_history(),
         }
     }
 }

@@ -44,6 +44,22 @@ impl std::error::Error for FleetDeviceError {}
 /// fidelity* is the marketed quality tier the placement policy sees (the
 /// analog of [`qoncord_cloud::device::CloudDevice`]'s fidelity axis), which
 /// spreads real calibrations over the policy's LF/HF split.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_device::catalog;
+/// use qoncord_orchestrator::fleet::FleetDevice;
+///
+/// let device = FleetDevice::new(catalog::ibmq_toronto())
+///     .with_speed(2.0)
+///     .and_then(|d| d.with_cost_per_second(4.0))
+///     .unwrap();
+/// assert_eq!(device.name(), "ibmq_toronto");
+/// assert_eq!(device.speed(), 2.0);
+/// // Invalid market metadata is a typed error, not a silent clamp.
+/// assert!(device.with_speed(0.0).is_err());
+/// ```
 #[derive(Debug, Clone)]
 pub struct FleetDevice {
     calibration: Calibration,

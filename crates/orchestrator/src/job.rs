@@ -15,6 +15,26 @@ use std::fmt;
 /// [`qoncord_core::scheduler::QoncordScheduler`]; given the same device
 /// ladder the orchestrator reproduces the closed-loop scheduler's results
 /// bit for bit, only the timing differs.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_core::executor::QaoaFactory;
+/// use qoncord_orchestrator::{DeadlineClass, TenantJob};
+/// use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+///
+/// let factory = QaoaFactory {
+///     problem: MaxCut::new(Graph::paper_graph_7()),
+///     layers: 1,
+/// };
+/// let job = TenantJob::new(7, "alice", 12.0, Box::new(factory))
+///     .with_restarts(6)
+///     .with_priority(2)
+///     .with_deadline_class(DeadlineClass::Interactive);
+/// assert_eq!(job.tenant, "alice");
+/// assert_eq!(job.n_restarts, 6);
+/// assert_eq!(job.priority, 2);
+/// ```
 pub struct TenantJob {
     /// Unique job id (also the index into the orchestrator's report).
     pub id: usize,

@@ -23,7 +23,14 @@
 //!   preemption.
 //! - [`admission`] — deadline-aware admission control: feasibility
 //!   projections from fleet load decide whether a job's SLA is keepable,
-//!   downgrading or rejecting it otherwise.
+//!   downgrading or rejecting it otherwise. Projections can be
+//!   *decay-aware*: queue position is modeled the way fair-share dispatch
+//!   under virtual-time usage decay will actually order it.
+//! - [`calibration`] — the closed loop behind
+//!   [`AdmissionMode::Calibrated`](admission::AdmissionMode):
+//!   realized-vs-projected completion errors per device tier and service
+//!   class, distilled into sliding-window quantile margins that replace
+//!   the static safety margin.
 //! - [`engine`] — the event loop: fair-share lease dispatch (reusing
 //!   [`qoncord_cloud::fairshare`]), ladder selection per arrival (reusing
 //!   [`qoncord_cloud::policy::place_job`]), urgency-based lease preemption
@@ -46,6 +53,45 @@
 //! the point: the fleet makespan of N concurrent jobs is strictly below the
 //! sum of their solo makespans, and an evicted job resumes from its
 //! checkpoint bit-identically.
+//!
+//! ## Example
+//!
+//! Run one deadline-carrying job under calibrated admission control:
+//!
+//! ```
+//! use qoncord_core::executor::QaoaFactory;
+//! use qoncord_core::scheduler::QoncordConfig;
+//! use qoncord_orchestrator::{
+//!     two_lf_one_hf_fleet, AdmissionConfig, Orchestrator, OrchestratorConfig, TenantJob,
+//! };
+//! use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+//!
+//! let factory = QaoaFactory {
+//!     problem: MaxCut::new(Graph::paper_graph_7()),
+//!     layers: 1,
+//! };
+//! let job = TenantJob::new(0, "alice", 0.0, Box::new(factory))
+//!     .with_config(QoncordConfig {
+//!         exploration_max_iterations: 4,
+//!         finetune_max_iterations: 5,
+//!         ..QoncordConfig::default()
+//!     })
+//!     .with_restarts(2)
+//!     .with_deadline(1e6);
+//! let orchestrator = Orchestrator::new(
+//!     OrchestratorConfig {
+//!         admission: AdmissionConfig::calibrated(),
+//!         ..OrchestratorConfig::default()
+//!     },
+//!     two_lf_one_hf_fleet(),
+//! );
+//! let report = orchestrator.run(&[job]);
+//! assert_eq!(report.completed(), 1);
+//! assert_eq!(report.sla_attainment(), Some(1.0));
+//! // The realized outcome fed the margin model: the learning history is
+//! // visible in telemetry.
+//! assert!(!report.calibration.is_empty());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -53,6 +99,7 @@ mod driver;
 mod events;
 
 pub mod admission;
+pub mod calibration;
 pub mod engine;
 pub mod fleet;
 pub mod job;
@@ -65,6 +112,7 @@ pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionOutcome,
     Deadline, DeadlineClass,
 };
+pub use calibration::{CalibrationConfig, MarginKey, MarginModel, MarginSnapshot, ServiceClass};
 pub use engine::{Orchestrator, OrchestratorConfig, PreemptionConfig, UsageDecayConfig};
 pub use fleet::{two_lf_one_hf_fleet, two_lf_two_hf_fleet, FleetDevice, FleetDeviceError};
 pub use job::TenantJob;
@@ -368,10 +416,7 @@ mod tests {
     fn admission_reject_denies_infeasible_deadlines() {
         let orch = Orchestrator::new(
             OrchestratorConfig {
-                admission: AdmissionConfig {
-                    mode: AdmissionMode::Reject,
-                    safety_margin: 0.0,
-                },
+                admission: AdmissionConfig::with_mode(AdmissionMode::Reject),
                 ..OrchestratorConfig::default()
             },
             two_lf_one_hf_fleet(),
@@ -399,10 +444,7 @@ mod tests {
     fn admission_downgrade_runs_best_effort() {
         let orch = Orchestrator::new(
             OrchestratorConfig {
-                admission: AdmissionConfig {
-                    mode: AdmissionMode::Downgrade,
-                    safety_margin: 0.0,
-                },
+                admission: AdmissionConfig::with_mode(AdmissionMode::Downgrade),
                 ..OrchestratorConfig::default()
             },
             two_lf_one_hf_fleet(),
@@ -421,10 +463,7 @@ mod tests {
     fn feasible_deadlines_are_admitted_and_attained() {
         let orch = Orchestrator::new(
             OrchestratorConfig {
-                admission: AdmissionConfig {
-                    mode: AdmissionMode::Reject,
-                    safety_margin: 0.0,
-                },
+                admission: AdmissionConfig::with_mode(AdmissionMode::Reject),
                 ..OrchestratorConfig::default()
             },
             two_lf_one_hf_fleet(),

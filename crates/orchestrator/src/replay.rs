@@ -29,6 +29,14 @@ pub struct ReplayConfig {
     pub session_restarts: usize,
     /// Dispatch priority of latency-sensitive (non-VQA) jobs.
     pub interactive_priority: u32,
+    /// `Some(n)`: every job whose id is a multiple of `n` replays with no
+    /// deadline (and no priority) at all. Best-effort jobs are never denied
+    /// by admission control, so under a rejecting controller they are the
+    /// unbiased estimate-error probes that keep the calibration loop
+    /// learning — without them, a margin model that starts out rejecting a
+    /// whole (tier, class) population would never see a completion from it.
+    /// `None` replays every job with its class deadline.
+    pub deadline_free_stride: Option<usize>,
 }
 
 impl Default for ReplayConfig {
@@ -38,6 +46,7 @@ impl Default for ReplayConfig {
             training: QoncordConfig::default(),
             session_restarts: 3,
             interactive_priority: 2,
+            deadline_free_stride: None,
         }
     }
 }
@@ -48,7 +57,34 @@ impl Default for ReplayConfig {
 ///
 /// # Panics
 ///
-/// Panics if the tenant pool or session restart count is zero.
+/// Panics if the tenant pool, the session restart count, or a configured
+/// [`deadline_free_stride`](ReplayConfig::deadline_free_stride) is zero.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
+/// use qoncord_core::executor::QaoaFactory;
+/// use qoncord_orchestrator::replay::{replay_workload, ReplayConfig};
+/// use qoncord_vqa::{graph::Graph, maxcut::MaxCut};
+///
+/// let specs = generate_workload(&WorkloadConfig {
+///     n_jobs: 8,
+///     ..WorkloadConfig::default()
+/// });
+/// let jobs = replay_workload(
+///     &specs,
+///     &ReplayConfig { deadline_free_stride: Some(4), ..ReplayConfig::default() },
+///     |_| Box::new(QaoaFactory {
+///         problem: MaxCut::new(Graph::paper_graph_7()),
+///         layers: 1,
+///     }),
+/// );
+/// assert_eq!(jobs.len(), 8);
+/// // Jobs 0 and 4 replay as best-effort calibration probes.
+/// assert!(jobs[0].deadline.is_none() && jobs[4].deadline.is_none());
+/// assert!(jobs.iter().filter(|j| j.deadline.is_some()).count() == 6);
+/// ```
 pub fn replay_workload(
     specs: &[JobSpec],
     config: &ReplayConfig,
@@ -56,6 +92,10 @@ pub fn replay_workload(
 ) -> Vec<TenantJob> {
     assert!(config.tenants > 0, "need at least one tenant");
     assert!(config.session_restarts > 0, "need at least one restart");
+    assert!(
+        config.deadline_free_stride != Some(0),
+        "deadline-free stride must be positive"
+    );
     specs
         .iter()
         .map(|spec| {
@@ -71,16 +111,22 @@ pub fn replay_workload(
                     .wrapping_add((spec.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 ..config.training.clone()
             };
-            TenantJob::new(
+            let job = TenantJob::new(
                 spec.id,
                 format!("user-{}", spec.id % config.tenants),
                 spec.arrival,
                 factory(spec),
             )
             .with_restarts(restarts)
-            .with_priority(priority)
-            .with_config(training)
-            .with_deadline_class(class)
+            .with_config(training);
+            if config
+                .deadline_free_stride
+                .is_some_and(|stride| spec.id % stride == 0)
+            {
+                job
+            } else {
+                job.with_priority(priority).with_deadline_class(class)
+            }
         })
         .collect()
 }
@@ -155,6 +201,40 @@ mod tests {
             jobs.iter().map(|j| j.tenant.as_str()).collect();
         assert_eq!(tenants.len(), 3);
         assert_ne!(jobs[0].config.seed, jobs[1].config.seed);
+    }
+
+    #[test]
+    fn deadline_free_stride_replays_probes() {
+        let specs = specs(0.5);
+        let jobs = replay_workload(
+            &specs,
+            &ReplayConfig {
+                deadline_free_stride: Some(3),
+                ..ReplayConfig::default()
+            },
+            factory,
+        );
+        for (job, spec) in jobs.iter().zip(&specs) {
+            if spec.id % 3 == 0 {
+                assert_eq!(job.deadline, None, "stride jobs are best-effort probes");
+                assert_eq!(job.priority, 0);
+            } else {
+                assert!(job.deadline.is_some());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        replay_workload(
+            &specs(0.5),
+            &ReplayConfig {
+                deadline_free_stride: Some(0),
+                ..ReplayConfig::default()
+            },
+            factory,
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! QuSplit-style restart splitting: one job's restarts fanned out across
 //! several fleet devices of the same quality tier.
 //!
-//! The plain [`JobDriver`](crate::driver) pins every batch of a job to one
+//! The plain per-job ladder driver (the private `driver` module) pins
+//! every batch of a job to one
 //! device per ladder rung, so a 50-restart exploration serializes on a
 //! single low-fidelity machine even when its twin sits idle next to it.
 //! This module shards a job's restarts into per-device **sub-leases**: a
-//! [`SplitDriver`] owns one shard per same-tier device (fan-out width
+//! `SplitDriver` owns one shard per same-tier device (fan-out width
 //! chosen from live load by [`qoncord_cloud::policy::split_restarts`]),
 //! runs each shard's SPSA batches independently — the engine grants each
 //! shard its own preemptible lease — and merges shard results back into
@@ -14,8 +15,10 @@
 //! # Bit-identical merges
 //!
 //! Every per-restart quantity is derived from job-level seeds addressed by
-//! restart index ([`initial_point`], [`exploration_seed`],
-//! [`finetune_seed`]), never from shard-local state, and restart triage
+//! restart index ([`qoncord_vqa::restart::initial_point`],
+//! [`qoncord_core::scheduler::exploration_seed`],
+//! [`qoncord_core::scheduler::finetune_seed`]), never from shard-local
+//! state, and restart triage
 //! runs on the merged, index-ordered exploration results. When the devices
 //! of a tier share a calibration model (the twin fleets of
 //! [`crate::fleet`]), a split run therefore reproduces the unsplit run's
@@ -42,6 +45,18 @@ use qoncord_device::noise_model::SimulatedBackend;
 use qoncord_vqa::restart::{executions_for_iterations, initial_point};
 
 /// Tuning of QuSplit-style restart splitting.
+///
+/// # Examples
+///
+/// ```
+/// use qoncord_orchestrator::SplitConfig;
+///
+/// assert!(!SplitConfig::default().enabled, "splitting is opt-in");
+/// let split = SplitConfig::enabled();
+/// assert!(split.enabled);
+/// assert_eq!(split.max_fanout, 4);
+/// assert!(split.tier_tolerance < 1e-6, "default admits only twin devices");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitConfig {
     /// Whether multi-device jobs may fan their restarts across same-tier

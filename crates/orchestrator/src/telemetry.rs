@@ -1,7 +1,28 @@
 //! Per-job and fleet-level telemetry of an orchestration run: wait times,
 //! makespans, device-seconds, lease cost, released reservations, eviction
-//! counts, wasted-work seconds, and SLA attainment.
+//! counts, wasted-work seconds, SLA attainment, and the admission
+//! calibration trail (margin applied, realized estimate error, and the
+//! margin model's per-tier learning history).
+//!
+//! # Examples
+//!
+//! Derived job metrics are pure functions of the recorded fields:
+//!
+//! ```
+//! use qoncord_orchestrator::telemetry::JobTelemetry;
+//!
+//! let mut t = JobTelemetry::new(5.0, 2);
+//! t.first_start = Some(7.0);
+//! t.completion = Some(19.0);
+//! t.deadline = Some(20.0);
+//! t.device_seconds = vec![4.0, 6.0];
+//! assert_eq!(t.wait_time(), Some(2.0));
+//! assert_eq!(t.turnaround(), Some(14.0));
+//! assert_eq!(t.busy_seconds(), 10.0);
+//! assert_eq!(t.sla_met(), Some(true));
+//! ```
 
+use crate::calibration::MarginSnapshot;
 use qoncord_cloud::policy::FeasibilityEstimate;
 use qoncord_core::executor::RejectedDevice;
 use qoncord_core::scheduler::QoncordReport;
@@ -24,6 +45,15 @@ pub struct JobTelemetry {
     /// The admission-time projection of the job's completion from fleet
     /// load (recorded for every job that reached admission).
     pub admission_estimate: Option<FeasibilityEstimate>,
+    /// The safety margin (seconds) admission judged the job's deadline
+    /// under — the static configuration value, or the learned per-tier
+    /// margin in calibrated mode (`None` for deadline-free jobs, which are
+    /// never judged).
+    pub admission_margin: Option<f64>,
+    /// Realized estimate error, seconds: completion minus the projected
+    /// completion (positive = the projection was optimistic). `None` until
+    /// the job completes.
+    pub estimate_error: Option<f64>,
     /// Device-seconds leased, per fleet device index.
     pub device_seconds: Vec<f64>,
     /// Circuit executions consumed across the fleet.
@@ -47,7 +77,9 @@ pub struct JobTelemetry {
 }
 
 impl JobTelemetry {
-    pub(crate) fn new(arrival: f64, n_devices: usize) -> Self {
+    /// An empty record for a job submitted at `arrival` against an
+    /// `n_devices`-device fleet (all counters zero, nothing started).
+    pub fn new(arrival: f64, n_devices: usize) -> Self {
         JobTelemetry {
             arrival,
             first_start: None,
@@ -55,6 +87,8 @@ impl JobTelemetry {
             deadline: None,
             downgraded: false,
             admission_estimate: None,
+            admission_margin: None,
+            estimate_error: None,
             device_seconds: vec![0.0; n_devices],
             executions: 0,
             cost: 0.0,
@@ -259,6 +293,11 @@ pub struct OrchestratorReport {
     pub fleet: FleetTelemetry,
     /// End-of-run fair-share balances, sorted by tenant.
     pub tenant_usage: Vec<TenantUsage>,
+    /// The margin model's learning history, in ingestion order: one entry
+    /// per completed (error sample) or denied (no sample) job, carrying the
+    /// per-tier margin in force after the outcome. Empty when no job
+    /// reached admission.
+    pub calibration: Vec<MarginSnapshot>,
 }
 
 impl OrchestratorReport {
@@ -327,6 +366,29 @@ impl OrchestratorReport {
     /// Device-seconds of occupancy evictions wasted across the run.
     pub fn total_wasted_seconds(&self) -> f64 {
         self.fleet.total_wasted_seconds()
+    }
+
+    /// The margin trajectory of one device tier, as `(virtual time, margin
+    /// seconds)` points in ingestion order across all service classes —
+    /// the per-tier learning curve the calibration bench plots.
+    pub fn margin_history(&self, tier: usize) -> Vec<(f64, f64)> {
+        self.calibration
+            .iter()
+            .filter(|s| s.key.tier == tier)
+            .map(|s| (s.time, s.margin))
+            .collect()
+    }
+
+    /// Mean absolute realized estimate error over completed jobs (`None`
+    /// when nothing completed with a recorded projection).
+    pub fn mean_abs_estimate_error(&self) -> Option<f64> {
+        let errors: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.telemetry.estimate_error)
+            .collect();
+        (!errors.is_empty())
+            .then(|| errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64)
     }
 
     /// Fraction of deadline-carrying completed jobs that met their deadline
@@ -465,6 +527,7 @@ mod tests {
                 tenant: "a".into(),
                 consumed_seconds: 13.0,
             }],
+            calibration: Vec::new(),
         };
         assert_eq!(report.tenant_balance("a"), 13.0);
         assert_eq!(report.tenant_balance("zzz"), 0.0);
