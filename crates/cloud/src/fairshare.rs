@@ -5,9 +5,43 @@
 //! number of requests they have in flight, and the computation time they
 //! request — heavy users sink, light users float. This module implements
 //! that ordering for the queue simulator and standalone use.
+//!
+//! # Indexed core
+//!
+//! The queue is indexed so the hot paths never scan every pending request:
+//!
+//! * Each tenant's requests live in per-*lane* ordered buckets (one lane per
+//!   placement tag: untargeted, bound to a device, or a provisional hold on
+//!   a device), keyed by the decay-invariant part of the fair-share score —
+//!   `request_size_weight * requested_seconds`, then submission time, then
+//!   insertion sequence. Every request of a tenant shares the same usage and
+//!   in-flight score terms, so this within-lane order never changes when
+//!   balances move.
+//! * A cross-tenant ordered index holds each lane's best request keyed by
+//!   its full score, so [`pop`](FairShareQueue::pop) is a first-entry read
+//!   plus an `O(log n)` removal, and a per-device ready index makes
+//!   [`pop_for_device`](FairShareQueue::pop_for_device) the same.
+//! * [`decay_usage`](FairShareQueue::decay_usage) keeps the seed's exact
+//!   arithmetic (`consumed *= factor` per tenant, so balances stay
+//!   bit-identical to the unindexed implementation) and merely marks the
+//!   cross-tenant index stale; the next ordered query performs one amortized
+//!   rebuild over the lanes instead of re-scoring on every comparison.
+//! * A per-device backlog summary (sum of queued `requested_seconds`) is
+//!   maintained incrementally on push/pop/cancel so admission projections
+//!   read it in `O(1)` instead of cloning and draining the queue.
+//!
+//! The behavioral contract is unchanged from the original linear-scan
+//! implementation: pops pick the lowest score, FIFO on score ties, insertion
+//! order on full ties. The retained reference implementation in
+//! [`crate::reference`] pins that contract in the equivalence property
+//! tests. One deliberate boundary tightening: requests with non-finite
+//! `requested_seconds` or `submitted_at` are rejected at push time with a
+//! typed error instead of panicking inside the pop comparator.
 
-use std::collections::HashMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
+use std::ops::Bound;
 
 /// Why a [`FairShareQueue`] accounting call rejected a parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +53,20 @@ pub enum FairShareError {
     /// a negative or non-finite amount would silently corrupt every later
     /// priority comparison.
     InvalidSeconds(f64),
+    /// Requests must carry finite `requested_seconds` and `submitted_at`:
+    /// the queue orders by both, so a NaN or infinity admitted at push time
+    /// would poison every later comparison. Rejecting at the boundary keeps
+    /// the pop path panic-free.
+    NonFiniteRequest {
+        /// The offending request's `requested_seconds`.
+        requested_seconds: f64,
+        /// The offending request's `submitted_at`.
+        submitted_at: f64,
+    },
+    /// A request with this id is already queued. Ids are the handle for
+    /// targeted pops and cancellations, so duplicates would make those
+    /// ambiguous.
+    DuplicateRequestId(usize),
 }
 
 impl fmt::Display for FairShareError {
@@ -29,6 +77,17 @@ impl fmt::Display for FairShareError {
             }
             FairShareError::InvalidSeconds(v) => {
                 write!(f, "seconds must be a non-negative finite number, got {v}")
+            }
+            FairShareError::NonFiniteRequest {
+                requested_seconds,
+                submitted_at,
+            } => write!(
+                f,
+                "request fields must be finite, got requested_seconds={requested_seconds} \
+                 submitted_at={submitted_at}"
+            ),
+            FairShareError::DuplicateRequestId(id) => {
+                write!(f, "request id {id} is already queued")
             }
         }
     }
@@ -79,6 +138,123 @@ impl Default for FairShareWeights {
     }
 }
 
+/// Per-run counters over the queue's indexed operations, exposed so a
+/// scheduling run can prove its hot paths stayed on the indexed fast path
+/// (an `O(log n)` claim that silently regresses to rescans shows up here as
+/// `index_rebuilds` growing with operation count instead of decay epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueOpStats {
+    /// Requests enqueued (all tags: untargeted, device-bound, holds).
+    pub pushes: u64,
+    /// Requests dequeued for execution (any pop flavor).
+    pub pops: u64,
+    /// Requests removed without running (cancellations).
+    pub cancels: u64,
+    /// Amortized rebuilds of the cross-tenant score index. Exactly one per
+    /// ordered query that follows a decaying `decay_usage` call — if this
+    /// grows like `pops`, the lazy-rebuild optimization has regressed.
+    pub index_rebuilds: u64,
+    /// Incremental updates of the per-device backlog summary (one per
+    /// device-tagged push/pop/cancel; never a full queue walk).
+    pub backlog_refreshes: u64,
+}
+
+/// Total-ordered `f64` wrapper for index keys. Construction normalizes
+/// `-0.0` to `+0.0` so `total_cmp`'s `-0 < +0` distinction can never
+/// diverge from the IEEE `==` the unindexed comparator used.
+#[derive(Debug, Clone, Copy)]
+struct Key(f64);
+
+impl Key {
+    fn new(v: f64) -> Self {
+        Key(v + 0.0)
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Placement tag of a queued request: which lane it lives in and which
+/// device's backlog it charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Tag {
+    /// No device affinity; eligible for untargeted pops only.
+    Free,
+    /// Dispatchable work bound to a device's ready set.
+    Device(usize),
+    /// Provisional reservation charged to a device's backlog but excluded
+    /// from that device's dispatch pops.
+    Hold(usize),
+}
+
+impl Tag {
+    /// The device whose backlog this request charges, if any.
+    fn device(self) -> Option<usize> {
+        match self {
+            Tag::Free => None,
+            Tag::Device(d) | Tag::Hold(d) => Some(d),
+        }
+    }
+}
+
+/// Within-lane order key: the decay-invariant score component, then the
+/// seed comparator's tie-breaks (submission time, insertion sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ReqKey {
+    size: Key,
+    submitted: Key,
+    seq: u64,
+}
+
+/// Cross-tenant order key: the full fair-share score of a lane's best
+/// request, then the same tie-breaks. Unique per request via `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CrossKey {
+    score: Key,
+    submitted: Key,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoredRequest {
+    request: QueuedRequest,
+    uid: usize,
+    tag: Tag,
+    seq: u64,
+}
+
+/// One tenant's ordered bucket of requests sharing a placement tag, plus
+/// the cross-tenant key its best member is currently posted under.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    requests: BTreeMap<ReqKey, usize>,
+    posted: Option<CrossKey>,
+}
+
+#[derive(Debug, Clone)]
+struct UserState {
+    name: String,
+    usage: UserUsage,
+    lanes: HashMap<Tag, Lane>,
+}
+
 /// A fair-share priority queue over [`QueuedRequest`]s.
 ///
 /// # Examples
@@ -88,16 +264,38 @@ impl Default for FairShareWeights {
 ///
 /// let mut q = FairShareQueue::new();
 /// q.record_usage("heavy", 1000.0).unwrap();
-/// q.push(QueuedRequest { id: 0, user: "heavy".into(), requested_seconds: 5.0, submitted_at: 0.0 });
-/// q.push(QueuedRequest { id: 1, user: "light".into(), requested_seconds: 5.0, submitted_at: 1.0 });
+/// q.push(QueuedRequest { id: 0, user: "heavy".into(), requested_seconds: 5.0, submitted_at: 0.0 })
+///     .unwrap();
+/// q.push(QueuedRequest { id: 1, user: "light".into(), requested_seconds: 5.0, submitted_at: 1.0 })
+///     .unwrap();
 /// // The light user's later submission dequeues first.
 /// assert_eq!(q.pop().unwrap().id, 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FairShareQueue {
     weights: FairShareWeights,
-    usage: HashMap<String, UserUsage>,
-    pending: Vec<QueuedRequest>,
+    /// Tenant name → dense uid into `states`.
+    users: HashMap<String, usize>,
+    states: Vec<UserState>,
+    /// Request id → stored request + index coordinates.
+    entries: HashMap<usize, StoredRequest>,
+    /// Cross-tenant score index over every lane's best request.
+    ready_all: BTreeMap<CrossKey, (usize, Tag)>,
+    /// Per-device score index over `Tag::Device` lane bests only.
+    ready_by_device: HashMap<usize, BTreeMap<CrossKey, usize>>,
+    /// Insertion-order view (seq → id) over every pending request.
+    insertion_all: BTreeMap<u64, usize>,
+    /// Insertion-order view restricted to a device's dispatchable requests.
+    insertion_by_device: HashMap<usize, BTreeMap<u64, usize>>,
+    /// Incrementally maintained per-device backlog: sum of queued
+    /// `requested_seconds` charged to the device (dispatchable + holds).
+    backlog: HashMap<usize, f64>,
+    len: usize,
+    seq: u64,
+    /// Set by a decaying `decay_usage`; cleared by the next ordered query's
+    /// amortized index rebuild.
+    stale: bool,
+    stats: QueueOpStats,
 }
 
 impl FairShareQueue {
@@ -107,7 +305,22 @@ impl FairShareQueue {
     }
 
     /// Creates a queue with explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any weight is non-finite or `request_size` is negative:
+    /// the per-tenant index orders each tenant's requests by
+    /// `request_size * requested_seconds`, which must agree with full-score
+    /// order for the index to be sound.
     pub fn with_weights(weights: FairShareWeights) -> Self {
+        assert!(
+            weights.usage.is_finite() && weights.in_flight.is_finite(),
+            "fair-share weights must be finite"
+        );
+        assert!(
+            weights.request_size.is_finite() && weights.request_size >= 0.0,
+            "request_size weight must be finite and non-negative"
+        );
         FairShareQueue {
             weights,
             ..FairShareQueue::default()
@@ -122,12 +335,186 @@ impl FairShareQueue {
 
     /// Number of pending requests.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.len
     }
 
     /// Returns `true` when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.len == 0
+    }
+
+    /// Counters over this queue's operations since construction.
+    pub fn stats(&self) -> QueueOpStats {
+        self.stats
+    }
+
+    fn uid_of(&mut self, user: &str) -> usize {
+        if let Some(&uid) = self.users.get(user) {
+            return uid;
+        }
+        let uid = self.states.len();
+        self.users.insert(user.to_owned(), uid);
+        self.states.push(UserState {
+            name: user.to_owned(),
+            usage: UserUsage::default(),
+            lanes: HashMap::new(),
+        });
+        uid
+    }
+
+    fn score_of(&self, usage: UserUsage, requested_seconds: f64) -> f64 {
+        self.weights.usage * usage.consumed_seconds
+            + self.weights.in_flight * usage.jobs_in_flight as f64
+            + self.weights.request_size * requested_seconds
+    }
+
+    fn req_key(&self, request: &QueuedRequest, seq: u64) -> ReqKey {
+        ReqKey {
+            size: Key::new(self.weights.request_size * request.requested_seconds),
+            submitted: Key::new(request.submitted_at),
+            seq,
+        }
+    }
+
+    /// Re-derives the posted cross-tenant key for one lane: removes the old
+    /// posting, drops the lane if it emptied, otherwise posts its current
+    /// best under a key scored with the tenant's live usage.
+    fn repost_lane(&mut self, uid: usize, tag: Tag) {
+        let old = match self.states[uid].lanes.get(&tag) {
+            Some(lane) => lane.posted,
+            None => return,
+        };
+        if let Some(key) = old {
+            self.ready_all.remove(&key);
+            if let Tag::Device(d) = tag {
+                if let Some(ready) = self.ready_by_device.get_mut(&d) {
+                    ready.remove(&key);
+                }
+            }
+        }
+        let best = self.states[uid].lanes[&tag]
+            .requests
+            .first_key_value()
+            .map(|(_, &id)| id);
+        let Some(id) = best else {
+            self.states[uid].lanes.remove(&tag);
+            return;
+        };
+        let entry = &self.entries[&id];
+        let key = CrossKey {
+            score: Key::new(self.score_of(self.states[uid].usage, entry.request.requested_seconds)),
+            submitted: Key::new(entry.request.submitted_at),
+            seq: entry.seq,
+        };
+        self.states[uid]
+            .lanes
+            .get_mut(&tag)
+            .expect("lane exists")
+            .posted = Some(key);
+        self.ready_all.insert(key, (uid, tag));
+        if let Tag::Device(d) = tag {
+            self.ready_by_device.entry(d).or_default().insert(key, uid);
+        }
+    }
+
+    /// Reposts every lane of a tenant — needed whenever the tenant's usage
+    /// terms change, since those shift all of its lanes' posted scores.
+    fn repost_user(&mut self, uid: usize) {
+        let tags: Vec<Tag> = self.states[uid].lanes.keys().copied().collect();
+        for tag in tags {
+            self.repost_lane(uid, tag);
+        }
+    }
+
+    /// Performs the amortized cross-tenant index rebuild a decay epoch
+    /// deferred. The within-lane order is decay-invariant, so only the
+    /// posted lane-best keys need re-deriving.
+    fn ensure_fresh(&mut self) {
+        if !self.stale {
+            return;
+        }
+        self.stale = false;
+        self.stats.index_rebuilds += 1;
+        for uid in 0..self.states.len() {
+            self.repost_user(uid);
+        }
+    }
+
+    fn insert_request(&mut self, request: QueuedRequest, tag: Tag) -> Result<(), FairShareError> {
+        if !(request.requested_seconds.is_finite() && request.submitted_at.is_finite()) {
+            return Err(FairShareError::NonFiniteRequest {
+                requested_seconds: request.requested_seconds,
+                submitted_at: request.submitted_at,
+            });
+        }
+        if self.entries.contains_key(&request.id) {
+            return Err(FairShareError::DuplicateRequestId(request.id));
+        }
+        let uid = self.uid_of(&request.user);
+        self.states[uid].usage.jobs_in_flight += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(d) = tag.device() {
+            *self.backlog.entry(d).or_insert(0.0) += request.requested_seconds;
+            self.stats.backlog_refreshes += 1;
+        }
+        self.insertion_all.insert(seq, request.id);
+        if let Tag::Device(d) = tag {
+            self.insertion_by_device
+                .entry(d)
+                .or_default()
+                .insert(seq, request.id);
+        }
+        let key = self.req_key(&request, seq);
+        self.states[uid]
+            .lanes
+            .entry(tag)
+            .or_default()
+            .requests
+            .insert(key, request.id);
+        self.entries.insert(
+            request.id,
+            StoredRequest {
+                request,
+                uid,
+                tag,
+                seq,
+            },
+        );
+        self.len += 1;
+        self.stats.pushes += 1;
+        self.repost_user(uid);
+        Ok(())
+    }
+
+    fn remove_request(&mut self, id: usize) -> Option<QueuedRequest> {
+        let StoredRequest {
+            request,
+            uid,
+            tag,
+            seq,
+        } = self.entries.remove(&id)?;
+        let key = self.req_key(&request, seq);
+        if let Some(lane) = self.states[uid].lanes.get_mut(&tag) {
+            lane.requests.remove(&key);
+        }
+        self.insertion_all.remove(&seq);
+        if let Tag::Device(d) = tag {
+            if let Some(order) = self.insertion_by_device.get_mut(&d) {
+                order.remove(&seq);
+            }
+        }
+        if let Some(d) = tag.device() {
+            if let Some(total) = self.backlog.get_mut(&d) {
+                *total -= request.requested_seconds;
+            }
+            self.stats.backlog_refreshes += 1;
+        }
+        let usage = &mut self.states[uid].usage;
+        usage.jobs_in_flight = usage.jobs_in_flight.saturating_sub(1);
+        self.len -= 1;
+        self.repost_user(uid);
+        Some(request)
     }
 
     /// Records `seconds` of consumption against `user`'s share.
@@ -142,10 +529,9 @@ impl FairShareQueue {
         if !(seconds.is_finite() && seconds >= 0.0) {
             return Err(FairShareError::InvalidSeconds(seconds));
         }
-        self.usage
-            .entry(user.to_owned())
-            .or_default()
-            .consumed_seconds += seconds;
+        let uid = self.uid_of(user);
+        self.states[uid].usage.consumed_seconds += seconds;
+        self.repost_user(uid);
         Ok(())
     }
 
@@ -163,15 +549,20 @@ impl FairShareQueue {
         if !(seconds.is_finite() && seconds >= 0.0) {
             return Err(FairShareError::InvalidSeconds(seconds));
         }
-        self.usage
-            .entry(user.to_owned())
-            .or_default()
-            .consumed_seconds -= seconds;
+        let uid = self.uid_of(user);
+        self.states[uid].usage.consumed_seconds -= seconds;
+        self.repost_user(uid);
         Ok(())
     }
 
     /// Ages all users' consumption by `factor` (e.g. nightly decay toward
     /// zero so past-heavy users recover priority).
+    ///
+    /// Balances are updated eagerly with the same `consumed *= factor`
+    /// arithmetic as the reference implementation (keeping them
+    /// bit-identical); only the cross-tenant score index is deferred, via a
+    /// stale flag consumed by the next ordered query's single amortized
+    /// rebuild.
     ///
     /// # Errors
     ///
@@ -181,81 +572,197 @@ impl FairShareQueue {
         if !(factor.is_finite() && (0.0..=1.0).contains(&factor)) {
             return Err(FairShareError::DecayFactorOutOfRange(factor));
         }
-        for u in self.usage.values_mut() {
-            u.consumed_seconds *= factor;
+        for state in &mut self.states {
+            state.usage.consumed_seconds *= factor;
+        }
+        if factor < 1.0 {
+            self.stale = true;
         }
         Ok(())
     }
 
     /// Current usage record for a user.
     pub fn usage(&self, user: &str) -> UserUsage {
-        self.usage.get(user).copied().unwrap_or_default()
+        self.users
+            .get(user)
+            .map(|&uid| self.states[uid].usage)
+            .unwrap_or_default()
     }
 
     /// Iterates every user the queue has accounted, with their usage
     /// (arbitrary order — sort before presenting).
     pub fn balances(&self) -> impl Iterator<Item = (&str, UserUsage)> {
-        self.usage
-            .iter()
-            .map(|(user, usage)| (user.as_str(), *usage))
+        self.states.iter().map(|s| (s.name.as_str(), s.usage))
     }
 
     /// Iterates the pending requests in insertion order (a dispatcher that
     /// layers its own priority rules over fair-share — e.g. preemption
     /// eligibility — needs to inspect the queue without popping).
     pub fn pending(&self) -> impl Iterator<Item = &QueuedRequest> {
-        self.pending.iter()
+        self.insertion_all
+            .values()
+            .map(|id| &self.entries[id].request)
     }
 
-    /// Enqueues a request and bumps the user's in-flight count.
-    pub fn push(&mut self, request: QueuedRequest) {
-        self.usage
-            .entry(request.user.clone())
-            .or_default()
-            .jobs_in_flight += 1;
-        self.pending.push(request);
+    /// Iterates the dispatchable requests bound to `device`, in insertion
+    /// order. Holds on the device are excluded — they are not dispatch
+    /// candidates.
+    pub fn pending_for_device(&self, device: usize) -> impl Iterator<Item = &QueuedRequest> {
+        self.insertion_by_device
+            .get(&device)
+            .into_iter()
+            .flat_map(|order| order.values())
+            .map(|id| &self.entries[id].request)
+    }
+
+    /// The incrementally maintained backlog of `device`: total requested
+    /// seconds of queued work charged to it (dispatchable requests and
+    /// holds). Clamped at zero against accumulated floating-point drift.
+    pub fn device_backlog(&self, device: usize) -> f64 {
+        self.backlog.get(&device).copied().unwrap_or(0.0).max(0.0)
+    }
+
+    /// The device a queued request is charged to (bound or held), if any.
+    pub fn device_of(&self, id: usize) -> Option<usize> {
+        self.entries.get(&id).and_then(|e| e.tag.device())
+    }
+
+    /// Enqueues an untargeted request and bumps the user's in-flight count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FairShareError::NonFiniteRequest`] when the request's
+    /// `requested_seconds` or `submitted_at` is not finite, and
+    /// [`FairShareError::DuplicateRequestId`] when its id is already queued;
+    /// nothing is enqueued in either case.
+    pub fn push(&mut self, request: QueuedRequest) -> Result<(), FairShareError> {
+        self.insert_request(request, Tag::Free)
+    }
+
+    /// Enqueues a request into `device`'s ready set: it charges that
+    /// device's backlog and is eligible for
+    /// [`pop_for_device`](Self::pop_for_device).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`push`](Self::push).
+    pub fn push_for_device(
+        &mut self,
+        request: QueuedRequest,
+        device: usize,
+    ) -> Result<(), FairShareError> {
+        self.insert_request(request, Tag::Device(device))
+    }
+
+    /// Enqueues a provisional hold on `device`: the request charges the
+    /// device's backlog and competes in untargeted pops, but is excluded
+    /// from the device's dispatch pops until released
+    /// ([`cancel_by_id`](Self::cancel_by_id)).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`push`](Self::push).
+    pub fn push_hold(
+        &mut self,
+        request: QueuedRequest,
+        device: usize,
+    ) -> Result<(), FairShareError> {
+        self.insert_request(request, Tag::Hold(device))
     }
 
     /// Fair-share score of a request: lower dequeues sooner.
     pub fn score(&self, request: &QueuedRequest) -> f64 {
-        let usage = self.usage(&request.user);
-        self.weights.usage * usage.consumed_seconds
-            + self.weights.in_flight * usage.jobs_in_flight as f64
-            + self.weights.request_size * request.requested_seconds
+        self.score_of(self.usage(&request.user), request.requested_seconds)
     }
 
     /// Dequeues the request with the lowest score (FIFO on ties) and
     /// releases its in-flight slot. The caller should
     /// [`record_usage`](Self::record_usage) once the job actually runs.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
-        self.pop_where(|_| true)
+        self.ensure_fresh();
+        let (_, &(uid, tag)) = self.ready_all.first_key_value()?;
+        let id = *self.states[uid].lanes[&tag]
+            .requests
+            .first_key_value()
+            .expect("posted lane is non-empty")
+            .1;
+        self.stats.pops += 1;
+        self.remove_request(id)
+    }
+
+    /// Dequeues the lowest-score dispatchable request bound to `device`
+    /// (FIFO on ties), releasing its in-flight slot. Holds on the device
+    /// are not candidates.
+    pub fn pop_for_device(&mut self, device: usize) -> Option<QueuedRequest> {
+        self.ensure_fresh();
+        let (_, &uid) = self.ready_by_device.get(&device)?.first_key_value()?;
+        let id = *self.states[uid].lanes[&Tag::Device(device)]
+            .requests
+            .first_key_value()
+            .expect("posted lane is non-empty")
+            .1;
+        self.stats.pops += 1;
+        self.remove_request(id)
+    }
+
+    /// Dequeues the request with id `id`, releasing its in-flight slot.
+    /// Returns `None` when no such request is queued.
+    pub fn pop_by_id(&mut self, id: usize) -> Option<QueuedRequest> {
+        let request = self.remove_request(id)?;
+        self.stats.pops += 1;
+        Some(request)
+    }
+
+    /// Removes the request with id `id` without running it, releasing its
+    /// in-flight slot. Returns `None` when no such request is queued.
+    pub fn cancel_by_id(&mut self, id: usize) -> Option<QueuedRequest> {
+        let request = self.remove_request(id)?;
+        self.stats.cancels += 1;
+        Some(request)
     }
 
     /// Dequeues the lowest-score request among those matching `pred` (FIFO
     /// on ties), releasing its in-flight slot. Requests failing `pred` stay
-    /// queued. This is how a dispatcher serving several devices from one
-    /// queue grants work for a specific device.
+    /// queued.
+    ///
+    /// Candidates are visited in exact pop order by walking lane bests
+    /// through a small heap, so the cost is proportional to the number of
+    /// rejected candidates, not the queue length. Callers that can name
+    /// their target should prefer [`pop_for_device`](Self::pop_for_device)
+    /// or [`pop_by_id`](Self::pop_by_id), which skip the walk entirely.
     pub fn pop_where(&mut self, pred: impl Fn(&QueuedRequest) -> bool) -> Option<QueuedRequest> {
-        let best = self
-            .pending
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| pred(r))
-            .min_by(|a, b| {
-                let sa = self.score(a.1);
-                let sb = self.score(b.1);
-                sa.partial_cmp(&sb).expect("finite scores").then(
-                    a.1.submitted_at
-                        .partial_cmp(&b.1.submitted_at)
-                        .expect("finite times"),
-                )
-            })
-            .map(|(i, _)| i)?;
-        let request = self.pending.remove(best);
-        if let Some(u) = self.usage.get_mut(&request.user) {
-            u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
+        self.ensure_fresh();
+        let mut frontier = BinaryHeap::new();
+        for (&key, &(uid, tag)) in &self.ready_all {
+            let (&req_key, &id) = self.states[uid].lanes[&tag]
+                .requests
+                .first_key_value()
+                .expect("posted lane is non-empty");
+            frontier.push(Reverse((key, uid, tag, req_key, id)));
         }
-        Some(request)
+        while let Some(Reverse((_, uid, tag, req_key, id))) = frontier.pop() {
+            if pred(&self.entries[&id].request) {
+                self.stats.pops += 1;
+                return self.remove_request(id);
+            }
+            let next = self.states[uid].lanes[&tag]
+                .requests
+                .range((Bound::Excluded(req_key), Bound::Unbounded))
+                .next()
+                .map(|(&k, &i)| (k, i));
+            if let Some((next_key, next_id)) = next {
+                let request = &self.entries[&next_id].request;
+                let cross = CrossKey {
+                    score: Key::new(
+                        self.score_of(self.states[uid].usage, request.requested_seconds),
+                    ),
+                    submitted: Key::new(request.submitted_at),
+                    seq: next_key.seq,
+                };
+                frontier.push(Reverse((cross, uid, tag, next_key, next_id)));
+            }
+        }
+        None
     }
 
     /// Requeues a request whose granted device time was preempted before it
@@ -268,46 +775,263 @@ impl FairShareQueue {
     /// # Errors
     ///
     /// Returns [`FairShareError::InvalidSeconds`] when `burned_seconds` is
-    /// negative or not finite; the request is not enqueued in that case.
+    /// negative or not finite, plus [`push`](Self::push)'s errors for the
+    /// request itself; neither the credit nor the enqueue happens on any
+    /// rejection.
     pub fn requeue_with_credit(
         &mut self,
         request: QueuedRequest,
         burned_seconds: f64,
     ) -> Result<(), FairShareError> {
+        self.requeue_impl(request, Tag::Free, burned_seconds)
+    }
+
+    /// [`requeue_with_credit`](Self::requeue_with_credit), but back into
+    /// `device`'s ready set — the eviction/requeue path of a dispatcher
+    /// whose reservations are device-bound.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`requeue_with_credit`](Self::requeue_with_credit).
+    pub fn requeue_with_credit_for_device(
+        &mut self,
+        request: QueuedRequest,
+        device: usize,
+        burned_seconds: f64,
+    ) -> Result<(), FairShareError> {
+        self.requeue_impl(request, Tag::Device(device), burned_seconds)
+    }
+
+    fn requeue_impl(
+        &mut self,
+        request: QueuedRequest,
+        tag: Tag,
+        burned_seconds: f64,
+    ) -> Result<(), FairShareError> {
+        if !(burned_seconds.is_finite() && burned_seconds >= 0.0) {
+            return Err(FairShareError::InvalidSeconds(burned_seconds));
+        }
+        if !(request.requested_seconds.is_finite() && request.submitted_at.is_finite()) {
+            return Err(FairShareError::NonFiniteRequest {
+                requested_seconds: request.requested_seconds,
+                submitted_at: request.submitted_at,
+            });
+        }
+        if self.entries.contains_key(&request.id) {
+            return Err(FairShareError::DuplicateRequestId(request.id));
+        }
         self.credit_usage(&request.user, burned_seconds)?;
-        self.push(request);
-        Ok(())
+        self.insert_request(request, tag)
     }
 
     /// Removes every request matching `pred` without running it, releasing
     /// the in-flight slots. Returns the cancelled requests in queue order —
     /// this is the release path when restart triage kills work whose
-    /// reservations are still queued.
+    /// reservations are still queued. One ordered pass collects the victims;
+    /// each removal is an indexed delete, so no tail-shifting rescans.
     pub fn cancel_where(&mut self, pred: impl Fn(&QueuedRequest) -> bool) -> Vec<QueuedRequest> {
-        let mut cancelled = Vec::new();
-        let mut i = 0;
-        while i < self.pending.len() {
-            if pred(&self.pending[i]) {
-                cancelled.push(self.pending.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        for request in &cancelled {
-            if let Some(u) = self.usage.get_mut(&request.user) {
-                u.jobs_in_flight = u.jobs_in_flight.saturating_sub(1);
-            }
-        }
-        cancelled
+        let victims: Vec<usize> = self
+            .insertion_all
+            .values()
+            .filter(|id| pred(&self.entries[id].request))
+            .copied()
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|id| {
+                let request = self.remove_request(id)?;
+                self.stats.cancels += 1;
+                Some(request)
+            })
+            .collect()
     }
 
     /// Drains the queue in fair-share order.
     pub fn drain_ordered(&mut self) -> Vec<QueuedRequest> {
-        let mut out = Vec::with_capacity(self.pending.len());
+        let mut out = Vec::with_capacity(self.len);
         while let Some(r) = self.pop() {
             out.push(r);
         }
         out
+    }
+}
+
+/// A tenant snapshot inside a queue projection: mutable copies of the score
+/// terms plus the tenant's requests in within-lane order.
+#[derive(Debug, Default)]
+struct ProjectedUser {
+    consumed: f64,
+    in_flight: u32,
+    /// `(order key, id, requested_seconds, charged device)` sorted by key.
+    requests: Vec<(ReqKey, usize, f64, Option<usize>)>,
+    cursor: usize,
+}
+
+impl FairShareQueue {
+    /// Snapshots every tenant for an analytic drain, indexed parallel to
+    /// the internal uid space.
+    fn projection_users(&self) -> Vec<ProjectedUser> {
+        self.states
+            .iter()
+            .map(|state| {
+                let mut requests: Vec<(ReqKey, usize, f64, Option<usize>)> = state
+                    .lanes
+                    .iter()
+                    .flat_map(|(tag, lane)| {
+                        let device = tag.device();
+                        lane.requests.iter().map(move |(&key, &id)| {
+                            (key, id, self.entries[&id].request.requested_seconds, device)
+                        })
+                    })
+                    .collect();
+                requests.sort_unstable_by_key(|a| a.0);
+                ProjectedUser {
+                    consumed: state.usage.consumed_seconds,
+                    in_flight: state.usage.jobs_in_flight,
+                    requests,
+                    cursor: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Replays the queue's pop loop analytically over tenant snapshots:
+    /// repeatedly takes the lowest-scored head, advances that tenant
+    /// (releasing its in-flight slot exactly like a real pop), and calls
+    /// `visit(id, requested_seconds, device)`; a `false` return stops the
+    /// drain. Only the popped tenant's head key changes per step, so a
+    /// standard binary heap with reinsertion replays the exact order in
+    /// `O(n log u)` instead of the old `O(n^2)` min-rescan.
+    fn projected_drain(
+        users: &mut [ProjectedUser],
+        weights: FairShareWeights,
+        mut visit: impl FnMut(usize, f64, Option<usize>) -> bool,
+    ) {
+        let head_key = |user: &ProjectedUser| {
+            let (key, _, secs, _) = user.requests[user.cursor];
+            CrossKey {
+                score: Key::new(
+                    weights.usage * user.consumed
+                        + weights.in_flight * user.in_flight as f64
+                        + weights.request_size * secs,
+                ),
+                submitted: key.submitted,
+                seq: key.seq,
+            }
+        };
+        let mut heap = BinaryHeap::new();
+        for (uid, user) in users.iter().enumerate() {
+            if user.cursor < user.requests.len() {
+                heap.push(Reverse((head_key(user), uid)));
+            }
+        }
+        while let Some(Reverse((_, uid))) = heap.pop() {
+            let user = &mut users[uid];
+            let (_, id, secs, device) = user.requests[user.cursor];
+            user.cursor += 1;
+            user.in_flight = user.in_flight.saturating_sub(1);
+            if !visit(id, secs, device) {
+                return;
+            }
+            let user = &users[uid];
+            if user.cursor < user.requests.len() {
+                heap.push(Reverse((head_key(user), uid)));
+            }
+        }
+    }
+
+    /// Projects the exact id order in which this queue would dispatch its
+    /// pending requests if drained right now, with all balances first aged
+    /// by `decay_factor` — without cloning or mutating the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `decay_factor` is outside `[0, 1]` or not finite.
+    pub fn projected_pop_order(&self, decay_factor: f64) -> Vec<usize> {
+        assert!(
+            decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
+            "decay factor must lie in [0, 1], got {decay_factor}"
+        );
+        let mut users = self.projection_users();
+        for user in &mut users {
+            user.consumed *= decay_factor;
+        }
+        let mut order = Vec::with_capacity(self.len);
+        Self::projected_drain(&mut users, self.weights, |id, _, _| {
+            order.push(id);
+            true
+        });
+        order
+    }
+
+    /// Projects the per-device backlog that would dispatch *ahead of*
+    /// `probe` if it were pushed now: credits `probe_credit` seconds to the
+    /// probe's tenant, ages every balance by `decay_factor`, virtually
+    /// enqueues the probe last, then replays the drain accumulating each
+    /// outranking request's `requested_seconds` against the device it is
+    /// charged to — all without cloning the queue. Index `d` of the result
+    /// is device `d`'s share; requests charged to devices `>= n_devices`
+    /// or to no device are dropped, matching the old projection's guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `decay_factor` is outside `[0, 1]`, `probe_credit` is
+    /// negative or not finite, or the probe's fields are not finite.
+    pub fn projected_backlog_ahead(
+        &self,
+        probe: &QueuedRequest,
+        probe_credit: f64,
+        decay_factor: f64,
+        n_devices: usize,
+    ) -> Vec<f64> {
+        assert!(
+            decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
+            "decay factor must lie in [0, 1], got {decay_factor}"
+        );
+        assert!(
+            probe_credit.is_finite() && probe_credit >= 0.0,
+            "probe credit must be a non-negative finite number, got {probe_credit}"
+        );
+        assert!(
+            probe.requested_seconds.is_finite() && probe.submitted_at.is_finite(),
+            "probe fields must be finite"
+        );
+        let mut users = self.projection_users();
+        let probe_uid = match self.users.get(&probe.user) {
+            Some(&uid) => uid,
+            None => {
+                users.push(ProjectedUser::default());
+                users.len() - 1
+            }
+        };
+        // Same op order as the reference projection: credit, then decay,
+        // then enqueue the probe (bumping its tenant's in-flight count).
+        users[probe_uid].consumed -= probe_credit;
+        for user in &mut users {
+            user.consumed *= decay_factor;
+        }
+        users[probe_uid].in_flight += 1;
+        let probe_key = self.req_key(probe, self.seq);
+        let probe_user = &mut users[probe_uid];
+        let at = probe_user
+            .requests
+            .partition_point(|(key, ..)| *key < probe_key);
+        probe_user
+            .requests
+            .insert(at, (probe_key, probe.id, probe.requested_seconds, None));
+        let mut ahead = vec![0.0; n_devices];
+        Self::projected_drain(&mut users, self.weights, |id, secs, device| {
+            if id == probe.id {
+                return false;
+            }
+            if let Some(d) = device {
+                if d < n_devices {
+                    ahead[d] += secs;
+                }
+            }
+            true
+        });
+        ahead
     }
 }
 
@@ -328,8 +1052,8 @@ mod tests {
     fn light_users_jump_heavy_users() {
         let mut q = FairShareQueue::new();
         q.record_usage("heavy", 500.0).unwrap();
-        q.push(req(0, "heavy", 10.0, 0.0));
-        q.push(req(1, "light", 10.0, 5.0));
+        q.push(req(0, "heavy", 10.0, 0.0)).unwrap();
+        q.push(req(1, "light", 10.0, 5.0)).unwrap();
         assert_eq!(q.pop().unwrap().id, 1);
         assert_eq!(q.pop().unwrap().id, 0);
     }
@@ -337,8 +1061,8 @@ mod tests {
     #[test]
     fn fifo_breaks_ties() {
         let mut q = FairShareQueue::new();
-        q.push(req(0, "a", 10.0, 0.0));
-        q.push(req(1, "b", 10.0, 1.0));
+        q.push(req(0, "a", 10.0, 0.0)).unwrap();
+        q.push(req(1, "b", 10.0, 1.0)).unwrap();
         assert_eq!(q.pop().unwrap().id, 0);
     }
 
@@ -346,17 +1070,17 @@ mod tests {
     fn many_in_flight_jobs_sink_priority() {
         let mut q = FairShareQueue::new();
         for i in 0..5 {
-            q.push(req(i, "spammer", 1.0, i as f64));
+            q.push(req(i, "spammer", 1.0, i as f64)).unwrap();
         }
-        q.push(req(99, "newcomer", 1.0, 10.0));
+        q.push(req(99, "newcomer", 1.0, 10.0)).unwrap();
         assert_eq!(q.pop().unwrap().id, 99, "single-job user goes first");
     }
 
     #[test]
     fn larger_requests_sink() {
         let mut q = FairShareQueue::new();
-        q.push(req(0, "a", 1000.0, 0.0));
-        q.push(req(1, "b", 1.0, 1.0));
+        q.push(req(0, "a", 1000.0, 0.0)).unwrap();
+        q.push(req(1, "b", 1.0, 1.0)).unwrap();
         assert_eq!(q.pop().unwrap().id, 1);
     }
 
@@ -365,16 +1089,37 @@ mod tests {
         let mut q = FairShareQueue::new();
         q.record_usage("reformed", 1000.0).unwrap();
         q.decay_usage(0.0).unwrap();
-        q.push(req(0, "reformed", 5.0, 0.0));
-        q.push(req(1, "fresh", 5.0, 1.0));
+        q.push(req(0, "reformed", 5.0, 0.0)).unwrap();
+        q.push(req(1, "fresh", 5.0, 1.0)).unwrap();
         // Equal usage now; FIFO decides.
         assert_eq!(q.pop().unwrap().id, 0);
     }
 
     #[test]
+    fn decay_between_pushes_reorders_the_index() {
+        // Decay lands while requests are queued: the deferred rebuild must
+        // surface the reformed tenant's request first on the next pop.
+        let mut q = FairShareQueue::new();
+        q.record_usage("reformed", 1000.0).unwrap();
+        q.record_usage("steady", 10.0).unwrap();
+        q.push(req(0, "reformed", 5.0, 0.0)).unwrap();
+        q.push(req(1, "steady", 5.0, 1.0)).unwrap();
+        q.decay_usage(0.0).unwrap();
+        assert_eq!(q.pop().unwrap().id, 0, "post-decay order wins");
+        assert_eq!(q.stats().index_rebuilds, 1);
+        q.decay_usage(1.0).unwrap();
+        q.pop();
+        assert_eq!(
+            q.stats().index_rebuilds,
+            1,
+            "factor 1.0 leaves scores unchanged; no rebuild needed"
+        );
+    }
+
+    #[test]
     fn pop_releases_in_flight_slot() {
         let mut q = FairShareQueue::new();
-        q.push(req(0, "a", 1.0, 0.0));
+        q.push(req(0, "a", 1.0, 0.0)).unwrap();
         assert_eq!(q.usage("a").jobs_in_flight, 1);
         q.pop();
         assert_eq!(q.usage("a").jobs_in_flight, 0);
@@ -384,9 +1129,9 @@ mod tests {
     fn drain_returns_everything_in_order() {
         let mut q = FairShareQueue::new();
         q.record_usage("x", 100.0).unwrap();
-        q.push(req(0, "x", 1.0, 0.0));
-        q.push(req(1, "y", 1.0, 1.0));
-        q.push(req(2, "z", 1.0, 2.0));
+        q.push(req(0, "x", 1.0, 0.0)).unwrap();
+        q.push(req(1, "y", 1.0, 1.0)).unwrap();
+        q.push(req(2, "z", 1.0, 2.0)).unwrap();
         let order: Vec<usize> = q.drain_ordered().iter().map(|r| r.id).collect();
         assert_eq!(order.len(), 3);
         assert_ne!(order[0], 0, "heavy user cannot be first");
@@ -439,6 +1184,45 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_request_rejected_at_push() {
+        let mut q = FairShareQueue::new();
+        let err = q.push(req(0, "a", f64::NAN, 0.0)).unwrap_err();
+        assert!(matches!(err, FairShareError::NonFiniteRequest { .. }));
+        assert!(err.to_string().contains("finite"));
+        assert!(matches!(
+            q.push(req(1, "a", 1.0, f64::INFINITY)),
+            Err(FairShareError::NonFiniteRequest { .. })
+        ));
+        assert!(q.is_empty(), "rejected pushes must not enqueue");
+        assert_eq!(
+            q.usage("a").jobs_in_flight,
+            0,
+            "rejected pushes must not charge an in-flight slot"
+        );
+        assert!(matches!(
+            q.push_for_device(req(2, "a", f64::NEG_INFINITY, 0.0), 0),
+            Err(FairShareError::NonFiniteRequest { .. })
+        ));
+        assert_eq!(q.device_backlog(0), 0.0);
+    }
+
+    #[test]
+    fn duplicate_request_id_rejected() {
+        let mut q = FairShareQueue::new();
+        q.push(req(7, "a", 1.0, 0.0)).unwrap();
+        assert_eq!(
+            q.push(req(7, "b", 2.0, 1.0)),
+            Err(FairShareError::DuplicateRequestId(7))
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.usage("b").jobs_in_flight, 0);
+        // Once popped, the id is free again.
+        q.pop().unwrap();
+        q.push(req(7, "b", 2.0, 1.0)).unwrap();
+        assert_eq!(q.pop().unwrap().user, "b");
+    }
+
+    #[test]
     fn credit_lowers_the_balance() {
         let mut q = FairShareQueue::new();
         q.record_usage("a", 10.0).unwrap();
@@ -450,8 +1234,8 @@ mod tests {
     fn pop_where_skips_non_matching_requests() {
         let mut q = FairShareQueue::new();
         q.record_usage("heavy", 500.0).unwrap();
-        q.push(req(0, "heavy", 1.0, 0.0));
-        q.push(req(1, "light", 1.0, 1.0));
+        q.push(req(0, "heavy", 1.0, 0.0)).unwrap();
+        q.push(req(1, "light", 1.0, 1.0)).unwrap();
         // Even though "light" has the better score, a filter on id 0 must
         // return the heavy user's request and leave the other queued.
         assert_eq!(q.pop_where(|r| r.id == 0).unwrap().id, 0);
@@ -468,7 +1252,7 @@ mod tests {
         // an otherwise-equal earlier submission.
         q.record_usage("victim", 100.0).unwrap();
         q.record_usage("other", 100.0).unwrap();
-        q.push(req(0, "other", 10.0, 0.0));
+        q.push(req(0, "other", 10.0, 0.0)).unwrap();
         q.requeue_with_credit(req(1, "victim", 10.0, 5.0), 40.0)
             .unwrap();
         assert_eq!(q.usage("victim").consumed_seconds, 60.0);
@@ -484,20 +1268,170 @@ mod tests {
         );
         assert!(q.is_empty(), "a rejected requeue must not enqueue");
         assert_eq!(q.usage("a").jobs_in_flight, 0);
+        // A bad request must not leave the credit behind either.
+        assert!(matches!(
+            q.requeue_with_credit(req(0, "a", f64::NAN, 0.0), 5.0),
+            Err(FairShareError::NonFiniteRequest { .. })
+        ));
+        assert_eq!(q.usage("a").consumed_seconds, 0.0);
     }
 
     #[test]
     fn cancel_where_releases_in_flight_slots() {
         let mut q = FairShareQueue::new();
         for i in 0..4 {
-            q.push(req(i, "vqa", 10.0, i as f64));
+            q.push(req(i, "vqa", 10.0, i as f64)).unwrap();
         }
-        q.push(req(9, "other", 10.0, 9.0));
+        q.push(req(9, "other", 10.0, 9.0)).unwrap();
         assert_eq!(q.usage("vqa").jobs_in_flight, 4);
         let cancelled = q.cancel_where(|r| r.user == "vqa" && r.id >= 2);
         assert_eq!(cancelled.iter().map(|r| r.id).collect::<Vec<_>>(), [2, 3]);
         assert_eq!(q.usage("vqa").jobs_in_flight, 2);
         assert_eq!(q.len(), 3);
         assert!(q.cancel_where(|r| r.id == 100).is_empty());
+    }
+
+    #[test]
+    fn cancel_where_preserves_insertion_order_across_users_and_devices() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 1.0, 0.0)).unwrap();
+        q.push_for_device(req(1, "b", 2.0, 1.0), 0).unwrap();
+        q.push_hold(req(2, "a", 3.0, 2.0), 1).unwrap();
+        q.push(req(3, "c", 4.0, 3.0)).unwrap();
+        q.push_for_device(req(4, "b", 5.0, 4.0), 1).unwrap();
+        let cancelled = q.cancel_where(|r| r.id != 3);
+        assert_eq!(
+            cancelled.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 1, 2, 4],
+            "cancellations come back in insertion order"
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.device_backlog(0), 0.0);
+        assert_eq!(q.device_backlog(1), 0.0);
+    }
+
+    #[test]
+    fn device_pops_serve_only_their_ready_set() {
+        let mut q = FairShareQueue::new();
+        q.push_for_device(req(0, "a", 1.0, 0.0), 0).unwrap();
+        q.push_for_device(req(1, "b", 1.0, 1.0), 1).unwrap();
+        q.push(req(2, "c", 1.0, 2.0)).unwrap();
+        assert_eq!(q.pop_for_device(1).unwrap().id, 1);
+        assert!(q.pop_for_device(1).is_none());
+        assert_eq!(q.pop_for_device(0).unwrap().id, 0);
+        assert_eq!(q.len(), 1, "untargeted request survives device pops");
+        assert_eq!(q.pop().unwrap().id, 2);
+    }
+
+    #[test]
+    fn device_pop_matches_global_fair_share_order() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 500.0).unwrap();
+        q.push_for_device(req(0, "heavy", 1.0, 0.0), 0).unwrap();
+        q.push_for_device(req(1, "light", 1.0, 1.0), 0).unwrap();
+        // Same ordering contract as pop_where(device == 0) had: fair-share
+        // score decides, not insertion.
+        assert_eq!(q.pop_for_device(0).unwrap().id, 1);
+        assert_eq!(q.pop_for_device(0).unwrap().id, 0);
+    }
+
+    #[test]
+    fn holds_charge_backlog_but_never_dispatch() {
+        let mut q = FairShareQueue::new();
+        q.push_hold(req(0, "a", 30.0, 0.0), 0).unwrap();
+        q.push_for_device(req(1, "b", 10.0, 1.0), 0).unwrap();
+        assert_eq!(q.device_backlog(0), 40.0);
+        assert_eq!(q.device_of(0), Some(0));
+        assert_eq!(
+            q.pop_for_device(0).unwrap().id,
+            1,
+            "the hold is not a dispatch candidate"
+        );
+        assert!(q.pop_for_device(0).is_none());
+        assert_eq!(q.device_backlog(0), 30.0);
+        assert_eq!(q.cancel_by_id(0).unwrap().id, 0);
+        assert_eq!(q.device_backlog(0), 0.0);
+        assert_eq!(q.usage("a").jobs_in_flight, 0);
+    }
+
+    #[test]
+    fn pop_by_id_and_cancel_by_id_target_exactly_one_request() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 1.0, 0.0)).unwrap();
+        q.push(req(1, "a", 1.0, 1.0)).unwrap();
+        assert!(q.pop_by_id(5).is_none());
+        assert_eq!(q.pop_by_id(1).unwrap().id, 1);
+        assert!(q.cancel_by_id(1).is_none());
+        assert_eq!(q.cancel_by_id(0).unwrap().id, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pending_views_iterate_in_insertion_order() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 3.0, 0.0)).unwrap();
+        q.push_for_device(req(1, "b", 2.0, 1.0), 0).unwrap();
+        q.push_hold(req(2, "a", 1.0, 2.0), 0).unwrap();
+        q.push_for_device(req(3, "c", 4.0, 3.0), 0).unwrap();
+        assert_eq!(q.pending().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert_eq!(
+            q.pending_for_device(0).map(|r| r.id).collect::<Vec<_>>(),
+            [1, 3],
+            "holds and untargeted requests are not dispatch candidates"
+        );
+    }
+
+    #[test]
+    fn queue_op_stats_count_the_hot_paths() {
+        let mut q = FairShareQueue::new();
+        q.push(req(0, "a", 1.0, 0.0)).unwrap();
+        q.push_for_device(req(1, "b", 2.0, 1.0), 0).unwrap();
+        q.push_hold(req(2, "c", 3.0, 1.5), 0).unwrap();
+        q.pop().unwrap();
+        q.pop_for_device(0).unwrap();
+        q.cancel_by_id(2).unwrap();
+        q.decay_usage(0.5).unwrap();
+        q.push(req(3, "a", 1.0, 2.0)).unwrap();
+        q.pop().unwrap();
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 4);
+        assert_eq!(stats.pops, 3);
+        assert_eq!(stats.cancels, 1);
+        assert_eq!(stats.index_rebuilds, 1, "one amortized rebuild per epoch");
+        // Two device-tagged pushes + their two removals.
+        assert_eq!(stats.backlog_refreshes, 4);
+    }
+
+    #[test]
+    fn projected_pop_order_matches_actual_drain() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("heavy", 300.0).unwrap();
+        q.push(req(0, "heavy", 10.0, 0.0)).unwrap();
+        q.push_for_device(req(1, "light", 2.0, 1.0), 0).unwrap();
+        q.push_hold(req(2, "light", 5.0, 2.0), 1).unwrap();
+        q.push(req(3, "mid", 7.0, 3.0)).unwrap();
+        q.record_usage("mid", 50.0).unwrap();
+        let projected = q.projected_pop_order(1.0);
+        let actual: Vec<usize> = q.clone().drain_ordered().iter().map(|r| r.id).collect();
+        assert_eq!(projected, actual);
+    }
+
+    #[test]
+    fn projected_backlog_ahead_charges_outranking_work_per_device() {
+        let mut q = FairShareQueue::new();
+        q.record_usage("probe-user", 1000.0).unwrap();
+        q.push_for_device(req(0, "a", 10.0, 0.0), 0).unwrap();
+        q.push_for_device(req(1, "b", 20.0, 1.0), 1).unwrap();
+        q.push_hold(req(2, "c", 5.0, 2.0), 0).unwrap();
+        let probe = req(99, "probe-user", 1.0, 3.0);
+        // Heavy probe tenant: everything outranks it.
+        let ahead = q.projected_backlog_ahead(&probe, 0.0, 1.0, 2);
+        assert_eq!(ahead, vec![15.0, 20.0]);
+        // A large enough credit floats the probe ahead of everything.
+        let ahead = q.projected_backlog_ahead(&probe, 2000.0, 1.0, 2);
+        assert_eq!(ahead, vec![0.0, 0.0]);
+        // The projection must leave the queue untouched.
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.usage("probe-user").jobs_in_flight, 0);
     }
 }

@@ -35,16 +35,20 @@ pub mod device;
 pub mod fairshare;
 pub mod job;
 pub mod policy;
+pub mod reference;
 pub mod sim;
 pub mod workload;
 
 pub use device::{hypothetical_fleet, CloudDevice};
-pub use fairshare::{FairShareError, FairShareQueue, FairShareWeights, QueuedRequest};
+pub use fairshare::{
+    FairShareError, FairShareQueue, FairShareWeights, QueueOpStats, QueuedRequest,
+};
 pub use job::{JobKind, JobOutcome, JobSpec};
 pub use policy::{
     estimate_feasibility, estimate_feasibility_decayed, merge_shard_results, place_job,
     projected_dispatch_order, split_restarts, FeasibilityEstimate, Placement, Policy, QueueModel,
     ShardPlacement, UsageDecayModel,
 };
+pub use reference::ReferenceFairShareQueue;
 pub use sim::{simulate, SimulationResult};
 pub use workload::{generate_workload, WorkloadConfig};

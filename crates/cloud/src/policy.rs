@@ -10,7 +10,6 @@ use crate::device::CloudDevice;
 use crate::fairshare::{FairShareQueue, QueuedRequest};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A cloud scheduling policy.
@@ -430,65 +429,27 @@ impl Default for UsageDecayModel {
 ///
 /// Panics if `decay_factor` lies outside `[0, 1]` or is not finite.
 pub fn projected_dispatch_order(queue: &FairShareQueue, decay_factor: f64) -> Vec<usize> {
-    assert!(
-        decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
-        "decay factor must lie in [0, 1]"
-    );
-    let weights = queue.weights();
-    let mut consumed: HashMap<&str, f64> = HashMap::new();
-    let mut in_flight: HashMap<&str, f64> = HashMap::new();
-    for (user, usage) in queue.balances() {
-        consumed.insert(user, usage.consumed_seconds * decay_factor);
-        in_flight.insert(user, usage.jobs_in_flight as f64);
-    }
-    let mut pending: Vec<&QueuedRequest> = queue.pending().collect();
-    let mut order = Vec::with_capacity(pending.len());
-    while !pending.is_empty() {
-        let mut best = 0;
-        for i in 1..pending.len() {
-            let score = |r: &QueuedRequest| {
-                weights.usage * consumed.get(r.user.as_str()).copied().unwrap_or(0.0)
-                    + weights.in_flight * in_flight.get(r.user.as_str()).copied().unwrap_or(0.0)
-                    + weights.request_size * r.requested_seconds
-            };
-            let ordering = score(pending[i])
-                .partial_cmp(&score(pending[best]))
-                .expect("finite scores")
-                .then(
-                    pending[i]
-                        .submitted_at
-                        .partial_cmp(&pending[best].submitted_at)
-                        .expect("finite times"),
-                );
-            // `Iterator::min_by` keeps the *first* of fully tied elements
-            // (equal score and submission time); replicate that so the
-            // projection matches pop order exactly.
-            if ordering == std::cmp::Ordering::Less {
-                best = i;
-            }
-        }
-        let popped = pending.remove(best);
-        if let Some(slots) = in_flight.get_mut(popped.user.as_str()) {
-            *slots = (*slots - 1.0).max(0.0);
-        }
-        order.push(popped.id);
-    }
-    order
+    queue.projected_pop_order(decay_factor)
 }
 
 /// The queue-side inputs of a decay-aware feasibility projection: the
-/// fair-share queue as it stands, the arriving job's hypothetical first
-/// request, the request-to-device mapping, and the dispatcher's decay
-/// model.
-pub struct QueueModel<'a, F: Fn(usize) -> Option<usize>> {
-    /// The live fair-share queue (balances + pending requests).
+/// fair-share queue as it stands (whose per-request device tags supply the
+/// request-to-device mapping), the arriving job's hypothetical first
+/// request, any fair-share credit the dispatcher would grant that request's
+/// tenant at admission, and the dispatcher's decay model.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueModel<'a> {
+    /// The live fair-share queue (balances + pending requests + device
+    /// tags + backlog summary).
     pub queue: &'a FairShareQueue,
     /// The arriving job's hypothetical first request. Its id must not
     /// collide with any queued request's.
     pub probe: &'a QueuedRequest,
-    /// Maps a queued request id to the device it is bound for (`None` for
-    /// requests that occupy no device).
-    pub device_of: F,
+    /// Fair-share seconds the dispatcher would credit the probe's tenant at
+    /// admission (0 when no priority boost applies). Applied virtually
+    /// before ranking, so the projection prices the boost without cloning
+    /// and mutating the queue.
+    pub probe_credit: f64,
     /// The dispatcher's virtual-time usage-decay parameters.
     pub decay: UsageDecayModel,
 }
@@ -523,9 +484,14 @@ pub struct QueueModel<'a, F: Fn(usize) -> Option<usize>> {
 /// let devices = vec![CloudDevice::new(0, 0.9, 1.0)];
 /// let mut queue = FairShareQueue::new();
 /// queue.record_usage("heavy", 500.0).unwrap();
-/// queue.push(QueuedRequest {
-///     id: 0, user: "heavy".into(), requested_seconds: 100.0, submitted_at: 0.0,
-/// });
+/// queue
+///     .push_for_device(
+///         QueuedRequest {
+///             id: 0, user: "heavy".into(), requested_seconds: 100.0, submitted_at: 0.0,
+///         },
+///         0,
+///     )
+///     .unwrap();
 /// let placements = [Placement { device: 0, circuits: 10, quality_weight: 1.0 }];
 /// let probe = QueuedRequest {
 ///     id: 99, user: "light".into(), requested_seconds: 10.0, submitted_at: 1.0,
@@ -533,43 +499,29 @@ pub struct QueueModel<'a, F: Fn(usize) -> Option<usize>> {
 /// let est = estimate_feasibility_decayed(&placements, &devices, &[1.0], 1.0, QueueModel {
 ///     queue: &queue,
 ///     probe: &probe,
-///     device_of: |id| (id == 0).then_some(0),
+///     probe_credit: 0.0,
 ///     decay: UsageDecayModel::none(),
 /// });
 /// // The light tenant outranks the heavy backlog: no queue delay at all.
 /// assert_eq!(est.queue_seconds, 0.0);
 /// assert_eq!(est.completion, 11.0);
 /// ```
-pub fn estimate_feasibility_decayed<F: Fn(usize) -> Option<usize>>(
+pub fn estimate_feasibility_decayed(
     placements: &[Placement],
     devices: &[CloudDevice],
     seconds_per_circuit: &[f64],
     now: f64,
-    model: QueueModel<'_, F>,
+    model: QueueModel<'_>,
 ) -> FeasibilityEstimate {
     let ahead = |factor: f64| -> Vec<f64> {
-        // Rank by *actually popping* a decayed clone of the queue — the
-        // dispatcher's own ordering, so projection and dispatch cannot
-        // drift (the analytic [`projected_dispatch_order`] mirror exists
-        // for callers that must not clone, and is property-tested against
-        // this very pop order).
-        let mut ranked = model.queue.clone();
-        ranked
-            .decay_usage(factor)
-            .expect("factor validated by the decay model");
-        ranked.push(model.probe.clone());
-        let mut ahead = vec![0.0; devices.len()];
-        while let Some(popped) = ranked.pop() {
-            if popped.id == model.probe.id {
-                break;
-            }
-            if let Some(device) = (model.device_of)(popped.id) {
-                if device < ahead.len() {
-                    ahead[device] += popped.requested_seconds;
-                }
-            }
-        }
-        ahead
+        // Rank analytically over the queue's own index snapshots — exactly
+        // the replay the dispatcher's pop loop would perform, but without
+        // cloning and draining the queue per admission decision (the old
+        // implementation's dominant cost). A property test pins this
+        // projection to the cloned-queue pop order bit for bit.
+        model
+            .queue
+            .projected_backlog_ahead(model.probe, model.probe_credit, factor, devices.len())
     };
     let naive = project_placements(placements, devices, seconds_per_circuit, now, &ahead(1.0));
     let factor = model.decay.factor_between(now, now + naive.queue_seconds);
@@ -933,10 +885,10 @@ mod tests {
         let mut q = FairShareQueue::new();
         q.record_usage("heavy", 400.0).unwrap();
         q.record_usage("light", 10.0).unwrap();
-        q.push(req(0, "heavy", 5.0, 0.0));
-        q.push(req(1, "light", 5.0, 1.0));
-        q.push(req(2, "light", 5.0, 2.0));
-        q.push(req(3, "fresh", 5.0, 3.0));
+        q.push(req(0, "heavy", 5.0, 0.0)).unwrap();
+        q.push(req(1, "light", 5.0, 1.0)).unwrap();
+        q.push(req(2, "light", 5.0, 2.0)).unwrap();
+        q.push(req(3, "fresh", 5.0, 3.0)).unwrap();
         let projected = projected_dispatch_order(&q, 1.0);
         let drained: Vec<usize> = q.clone().drain_ordered().iter().map(|r| r.id).collect();
         assert_eq!(projected, drained);
@@ -949,9 +901,9 @@ mod tests {
         // insertion order (min_by keeps the first of equals), and the
         // projection must agree.
         let mut q = FairShareQueue::new();
-        q.push(req(0, "a", 5.0, 1.0));
-        q.push(req(1, "a", 5.0, 1.0));
-        q.push(req(2, "a", 5.0, 1.0));
+        q.push(req(0, "a", 5.0, 1.0)).unwrap();
+        q.push(req(1, "a", 5.0, 1.0)).unwrap();
+        q.push(req(2, "a", 5.0, 1.0)).unwrap();
         let projected = projected_dispatch_order(&q, 1.0);
         let drained: Vec<usize> = q.clone().drain_ordered().iter().map(|r| r.id).collect();
         assert_eq!(projected, drained);
@@ -964,8 +916,8 @@ mod tests {
         // its earlier submission outranks the light tenant's.
         let mut q = FairShareQueue::new();
         q.record_usage("heavy", 1000.0).unwrap();
-        q.push(req(0, "heavy", 5.0, 0.0));
-        q.push(req(1, "light", 5.0, 1.0));
+        q.push(req(0, "heavy", 5.0, 0.0)).unwrap();
+        q.push(req(1, "light", 5.0, 1.0)).unwrap();
         assert_eq!(projected_dispatch_order(&q, 1.0), vec![1, 0]);
         assert_eq!(projected_dispatch_order(&q, 0.0), vec![0, 1]);
     }
@@ -980,7 +932,7 @@ mod tests {
         }];
         let mut q = FairShareQueue::new();
         q.record_usage("rival", 50.0).unwrap();
-        q.push(req(0, "rival", 30.0, 0.0));
+        q.push_for_device(req(0, "rival", 30.0, 0.0), 0).unwrap();
         // A probe from a tenant heavier than the rival queues behind the
         // rival's 30s of work; a lighter probe queues ahead of it.
         let heavy_probe = |mut queue: FairShareQueue| {
@@ -993,7 +945,7 @@ mod tests {
                 QueueModel {
                     queue: &queue,
                     probe: &req(9, "newcomer", 10.0, 1.0),
-                    device_of: |id| (id == 0).then_some(0),
+                    probe_credit: 0.0,
                     decay: UsageDecayModel::none(),
                 },
             )
@@ -1009,12 +961,29 @@ mod tests {
             QueueModel {
                 queue: &q,
                 probe: &req(9, "newcomer", 10.0, 1.0),
-                device_of: |id| (id == 0).then_some(0),
+                probe_credit: 0.0,
                 decay: UsageDecayModel::none(),
             },
         );
         assert_eq!(light.queue_seconds, 0.0, "outranked work does not delay");
         assert_eq!(light.completion, 10.0);
+        // A probe credit does virtually what a real admission-time credit
+        // would: the heavy newcomer outranks the rival again.
+        let mut credited_queue = q.clone();
+        credited_queue.record_usage("newcomer", 500.0).unwrap();
+        let boosted = estimate_feasibility_decayed(
+            &placements,
+            &devices,
+            &[1.0],
+            0.0,
+            QueueModel {
+                queue: &credited_queue,
+                probe: &req(9, "newcomer", 10.0, 1.0),
+                probe_credit: 500.0,
+                decay: UsageDecayModel::none(),
+            },
+        );
+        assert_eq!(boosted.queue_seconds, 0.0);
     }
 
     #[test]
@@ -1034,9 +1003,8 @@ mod tests {
         let mut q = FairShareQueue::new();
         q.record_usage("rival", 120.0).unwrap();
         q.record_usage("newcomer", 20.0).unwrap();
-        q.push(req(0, "rival", 4.0, 0.0));
+        q.push_for_device(req(0, "rival", 4.0, 0.0), 0).unwrap();
         let probe = req(9, "newcomer", 30.0, 1.0);
-        let device_of = |id: usize| (id == 0).then_some(0);
         let undecayed = estimate_feasibility_decayed(
             &placements,
             &devices,
@@ -1045,7 +1013,7 @@ mod tests {
             QueueModel {
                 queue: &q,
                 probe: &probe,
-                device_of,
+                probe_credit: 0.0,
                 decay: UsageDecayModel::none(),
             },
         );
@@ -1061,7 +1029,7 @@ mod tests {
             QueueModel {
                 queue: &q,
                 probe: &probe,
-                device_of,
+                probe_credit: 0.0,
                 decay: UsageDecayModel::every(30.0, 0.5),
             },
         );

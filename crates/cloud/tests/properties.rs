@@ -1,6 +1,8 @@
 //! Property-based tests of the queue simulator and the fair-share queue:
-//! conservation laws, schedule validity, and queue-accounting invariants
-//! under arbitrary workloads.
+//! conservation laws, schedule validity, queue-accounting invariants under
+//! arbitrary workloads, and the equivalence suite pinning the indexed
+//! [`FairShareQueue`] to the retained linear-scan reference implementation
+//! (bit-identical pop sequences and balances over random op interleavings).
 
 use proptest::prelude::*;
 use qoncord_cloud::device::{hypothetical_fleet, CloudDevice};
@@ -8,10 +10,12 @@ use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
 use qoncord_cloud::policy::{
     merge_shard_results, projected_dispatch_order, split_restarts, Policy,
 };
+use qoncord_cloud::reference::ReferenceFairShareQueue;
 use qoncord_cloud::sim::simulate;
 use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Builds a queue holding `ids` as requests spread over a small user pool.
 fn queue_of(ids: &[usize]) -> FairShareQueue {
@@ -22,7 +26,8 @@ fn queue_of(ids: &[usize]) -> FairShareQueue {
             user: format!("user-{}", id % 3),
             requested_seconds: 1.0 + id as f64,
             submitted_at: id as f64,
-        });
+        })
+        .expect("finite fields and unique ids");
     }
     q
 }
@@ -279,7 +284,8 @@ proptest! {
                 // real dispatch breaks by insertion order) are reachable.
                 requested_seconds: [1.0, 2.0, 5.0, 10.0][*size as usize],
                 submitted_at: (id / 3) as f64,
-            });
+            })
+            .unwrap();
         }
         let projected = projected_dispatch_order(&q, decay_factor);
         let mut realized = q.clone();
@@ -305,5 +311,215 @@ proptest! {
         prop_assert!((dev.busy_time() - total).abs() < 1e-6,
             "busy {} vs scheduled {}", dev.busy_time(), total);
         prop_assert!(dev.horizon() >= total - 1e-9, "work cannot compress");
+    }
+}
+
+/// A request with tie-friendly discrete sizes and submission times shared by
+/// consecutive pushes, so full score-and-time ties (which dispatch breaks by
+/// insertion order) are reachable. The single byte picks both tenant and
+/// size.
+fn gen_req(id: usize, byte: u8, clock: usize) -> QueuedRequest {
+    QueuedRequest {
+        id,
+        user: format!("user-{}", byte % 4),
+        requested_seconds: [1.0, 2.0, 5.0, 10.0][(byte / 4 % 4) as usize],
+        submitted_at: (clock / 2) as f64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The indexed [`FairShareQueue`] and the retained seed implementation
+    /// ([`ReferenceFairShareQueue`]) produce bit-identical behavior over
+    /// random op interleavings: every pop and cancel returns the same
+    /// requests, lengths track each other after every op, and the final
+    /// balances match to the last bit (`f64::to_bits`). The reference queue
+    /// has no device lanes, so the test keeps a side table of each id's tag
+    /// and expresses device pops as predicate pops — which is exactly what
+    /// the seed orchestrator did before the indexed API existed.
+    #[test]
+    fn indexed_queue_matches_reference_on_random_interleavings(
+        seed_balances in proptest::collection::vec(0.0..300.0f64, 4),
+        ops in proptest::collection::vec((0..12u8, 0..255u8, 0..255u8), 1..48),
+    ) {
+        let mut q = FairShareQueue::new();
+        let mut rq = ReferenceFairShareQueue::new();
+        for (user, balance) in seed_balances.iter().enumerate() {
+            q.record_usage(&format!("user-{user}"), *balance).unwrap();
+            rq.record_usage(&format!("user-{user}"), *balance).unwrap();
+        }
+        // id -> (kind, device): 0 = free, 1 = device-targeted, 2 = hold.
+        let mut tags: HashMap<usize, (u8, usize)> = HashMap::new();
+        let mut next_id = 0usize;
+        let mut clock = 0usize;
+        for &(code, a, b) in &ops {
+            match code {
+                0..=2 => {
+                    let r = gen_req(next_id, a, clock);
+                    next_id += 1;
+                    clock += 1;
+                    let d = b as usize % 3;
+                    match code {
+                        0 => {
+                            q.push(r.clone()).unwrap();
+                            tags.insert(r.id, (0, 0));
+                        }
+                        1 => {
+                            q.push_for_device(r.clone(), d).unwrap();
+                            tags.insert(r.id, (1, d));
+                        }
+                        _ => {
+                            q.push_hold(r.clone(), d).unwrap();
+                            tags.insert(r.id, (2, d));
+                        }
+                    }
+                    rq.push(r);
+                }
+                3 => prop_assert_eq!(q.pop(), rq.pop()),
+                4 => {
+                    let d = b as usize % 3;
+                    let left = q.pop_for_device(d);
+                    let right = rq.pop_where(|r| tags.get(&r.id) == Some(&(1, d)));
+                    prop_assert_eq!(left, right);
+                }
+                5 => {
+                    let k = b as usize % 3;
+                    let left = q.pop_where(|r| r.id % 3 == k);
+                    let right = rq.pop_where(|r| r.id % 3 == k);
+                    prop_assert_eq!(left, right);
+                }
+                6 => {
+                    let id = a as usize % next_id.max(1);
+                    let left = q.pop_by_id(id);
+                    let right = rq.pop_where(|r| r.id == id);
+                    prop_assert_eq!(left, right);
+                }
+                7 => {
+                    let id = a as usize % next_id.max(1);
+                    let left: Vec<QueuedRequest> = q.cancel_by_id(id).into_iter().collect();
+                    let right = rq.cancel_where(|r| r.id == id);
+                    prop_assert_eq!(left, right);
+                }
+                8 => {
+                    let k = b as usize % 4;
+                    let left = q.cancel_where(|r| r.id % 4 == k);
+                    let right = rq.cancel_where(|r| r.id % 4 == k);
+                    prop_assert_eq!(left, right);
+                }
+                9 => {
+                    let factor = (a % 11) as f64 / 10.0;
+                    q.decay_usage(factor).unwrap();
+                    rq.decay_usage(factor).unwrap();
+                }
+                10 => {
+                    let user = format!("user-{}", b % 4);
+                    let secs = (a % 60) as f64;
+                    if a % 2 == 0 {
+                        q.record_usage(&user, secs).unwrap();
+                        rq.record_usage(&user, secs).unwrap();
+                    } else {
+                        q.credit_usage(&user, secs).unwrap();
+                        rq.credit_usage(&user, secs).unwrap();
+                    }
+                }
+                _ => {
+                    let r = gen_req(next_id, a, clock);
+                    next_id += 1;
+                    clock += 1;
+                    let burned = (b % 30) as f64;
+                    tags.insert(r.id, (0, 0));
+                    q.requeue_with_credit(r.clone(), burned).unwrap();
+                    rq.requeue_with_credit(r, burned).unwrap();
+                }
+            }
+            prop_assert_eq!(q.len(), rq.len());
+        }
+        for user in 0..4 {
+            let name = format!("user-{user}");
+            let (iu, ru) = (q.usage(&name), rq.usage(&name));
+            prop_assert_eq!(
+                iu.consumed_seconds.to_bits(), ru.consumed_seconds.to_bits(),
+                "balance drift for {}: {} vs {}", name, iu.consumed_seconds, ru.consumed_seconds
+            );
+            prop_assert_eq!(iu.jobs_in_flight, ru.jobs_in_flight);
+        }
+        let pending_left: Vec<usize> = q.pending().map(|r| r.id).collect();
+        let pending_right: Vec<usize> = rq.pending().map(|r| r.id).collect();
+        prop_assert_eq!(pending_left, pending_right);
+        prop_assert_eq!(q.drain_ordered(), rq.drain_ordered());
+    }
+
+    /// [`FairShareQueue::projected_backlog_ahead`] — the clone-free
+    /// projection that admission control now consumes — matches a seed-style
+    /// oracle bit for bit: clone the reference queue, apply the same credit
+    /// and decay, enqueue the probe, and pop until it surfaces, charging
+    /// each outranking request to its tagged device. Holds charge backlog;
+    /// untargeted requests charge no device — on both sides.
+    #[test]
+    fn projected_backlog_matches_reference_clone_and_drain(
+        seed_balances in proptest::collection::vec(0.0..300.0f64, 4),
+        requests in proptest::collection::vec((0..4u8, 0..4u8, 0..3u8, 0..3u8), 1..24),
+        probe_user in 0..4u8,
+        credit_units in 0..40u32,
+        decay_tenths in 0..11u32,
+    ) {
+        let factor = decay_tenths as f64 / 10.0;
+        let credit = credit_units as f64 * 5.0;
+        let n_devices = 3;
+        let mut q = FairShareQueue::new();
+        let mut rq = ReferenceFairShareQueue::new();
+        for (user, balance) in seed_balances.iter().enumerate() {
+            q.record_usage(&format!("user-{user}"), *balance).unwrap();
+            rq.record_usage(&format!("user-{user}"), *balance).unwrap();
+        }
+        let mut tags: HashMap<usize, usize> = HashMap::new();
+        for (id, &(user, size, kind, dev)) in requests.iter().enumerate() {
+            let r = QueuedRequest {
+                id,
+                user: format!("user-{user}"),
+                requested_seconds: [1.0, 2.0, 5.0, 10.0][size as usize],
+                submitted_at: (id / 3) as f64,
+            };
+            let d = dev as usize;
+            match kind {
+                0 => q.push(r.clone()).unwrap(),
+                1 => {
+                    q.push_for_device(r.clone(), d).unwrap();
+                    tags.insert(id, d);
+                }
+                _ => {
+                    q.push_hold(r.clone(), d).unwrap();
+                    tags.insert(id, d);
+                }
+            }
+            rq.push(r);
+        }
+        let probe = QueuedRequest {
+            id: usize::MAX,
+            user: format!("user-{probe_user}"),
+            requested_seconds: 4.0,
+            submitted_at: requests.len() as f64,
+        };
+        let ahead = q.projected_backlog_ahead(&probe, credit, factor, n_devices);
+
+        let mut oracle = rq.clone();
+        oracle.credit_usage(&probe.user, credit).unwrap();
+        oracle.decay_usage(factor).unwrap();
+        oracle.push(probe.clone());
+        let mut expect = vec![0.0f64; n_devices];
+        while let Some(r) = oracle.pop() {
+            if r.id == probe.id {
+                break;
+            }
+            if let Some(&d) = tags.get(&r.id) {
+                expect[d] += r.requested_seconds;
+            }
+        }
+        let ahead_bits: Vec<u64> = ahead.iter().map(|v| v.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(ahead_bits, expect_bits);
+        // The projection never mutates the real queue.
+        prop_assert_eq!(q.len(), rq.len());
     }
 }

@@ -13,6 +13,13 @@
 //! Deadlines are absolute virtual times, specified either directly
 //! ([`Deadline::At`]) or as a [`DeadlineClass`] resolved at admission
 //! against the job's own projected service time.
+//!
+//! Decay-aware projections
+//! ([`qoncord_cloud::policy::estimate_feasibility_decayed`]) rank the
+//! queued work ahead of the job analytically over the fair-share queue's
+//! indexes — the engine no longer clones and drains the queue per
+//! admission decision, so this controller stays cheap at fleet scale (see
+//! the `fleet_scale` experiment's admission-throughput trajectory).
 
 use qoncord_cloud::policy::FeasibilityEstimate;
 

@@ -272,11 +272,11 @@ impl Orchestrator {
     }
 }
 
-/// Runtime accounting of one fleet device.
+/// Runtime accounting of one fleet device. Queued-but-ungranted batch work
+/// is no longer tracked here: the fair-share queue's incrementally
+/// maintained [`FairShareQueue::device_backlog`] summary is the single
+/// source of that estimate.
 struct DeviceState {
-    /// Estimated seconds of queued-but-ungranted batch work (feeds the
-    /// placement load view).
-    pending_estimate: f64,
     busy_seconds: f64,
     wasted_seconds: f64,
     evictions: u64,
@@ -388,7 +388,6 @@ impl<'a> Sim<'a> {
             devices: fleet
                 .iter()
                 .map(|_| DeviceState {
-                    pending_estimate: 0.0,
                     busy_seconds: 0.0,
                     wasted_seconds: 0.0,
                     evictions: 0,
@@ -469,7 +468,7 @@ impl<'a> Sim<'a> {
             .enumerate()
             .map(|(i, d)| {
                 let mut view = CloudDevice::new(i, d.advertised_fidelity(), d.speed());
-                let backlog = self.devices[i].pending_estimate
+                let backlog = self.queue.device_backlog(i)
                     + self.leases.active(i).map_or(0.0, |l| l.remaining(now));
                 if backlog > 0.0 {
                     view.schedule(now, backlog);
@@ -600,13 +599,17 @@ impl<'a> Sim<'a> {
                 let (hold_device, hold_seconds) = targets[restart % targets.len()];
                 let id = self.next_id();
                 self.reservations.insert(id, Reservation::Hold);
-                self.devices[hold_device].pending_estimate += hold_seconds;
-                self.queue.push(QueuedRequest {
-                    id,
-                    user: spec.tenant.clone(),
-                    requested_seconds: hold_seconds,
-                    submitted_at: now,
-                });
+                self.queue
+                    .push_hold(
+                        QueuedRequest {
+                            id,
+                            user: spec.tenant.clone(),
+                            requested_seconds: hold_seconds,
+                            submitted_at: now,
+                        },
+                        hold_device,
+                    )
+                    .expect("reservation ids are unique and hold estimates finite");
                 self.holds[job].insert(restart, (id, hold_device, hold_seconds));
             }
         }
@@ -646,19 +649,6 @@ impl<'a> Sim<'a> {
                 view
             })
             .collect();
-        let mut device_of: HashMap<usize, usize> = self
-            .reservations
-            .iter()
-            .filter_map(|(id, r)| match r {
-                Reservation::Batch { device, .. } => Some((*id, *device)),
-                Reservation::Hold => None,
-            })
-            .collect();
-        for holds in &self.holds {
-            for &(id, device, _) in holds.values() {
-                device_of.insert(id, device);
-            }
-        }
         let probe = QueuedRequest {
             id: usize::MAX,
             user: self.jobs[job].tenant.clone(),
@@ -667,28 +657,21 @@ impl<'a> Sim<'a> {
         };
         // If the job is admitted, its priority enters fair-share as usage
         // credit *after* this estimate — rank the probe with that credit
-        // already applied, or the projection would charge a priority job
-        // for queued work its credited requests will in fact outrank.
+        // already applied (virtually, via the probe-credit input: no queue
+        // clone), or the projection would charge a priority job for queued
+        // work its credited requests will in fact outrank. The queue's own
+        // device tags supply the request-to-device mapping the old path
+        // rebuilt from the reservation and hold tables per decision.
         let credit = self.jobs[job].priority as f64 * self.config.priority_credit;
-        let mut credited_queue;
-        let queue = if credit > 0.0 {
-            credited_queue = self.queue.clone();
-            credited_queue
-                .credit_usage(&self.jobs[job].tenant, credit)
-                .expect("priority credit is finite and non-negative");
-            &credited_queue
-        } else {
-            &self.queue
-        };
         estimate_feasibility_decayed(
             priced,
             &committed_views,
             secs,
             now,
             QueueModel {
-                queue,
+                queue: &self.queue,
                 probe: &probe,
-                device_of: |id| device_of.get(&id).copied(),
+                probe_credit: credit,
                 decay: self.config.decay,
             },
         )
@@ -729,13 +712,17 @@ impl<'a> Sim<'a> {
                     resume: None,
                 },
             );
-            self.devices[device].pending_estimate += seconds;
-            self.queue.push(QueuedRequest {
-                id,
-                user: self.jobs[job].tenant.clone(),
-                requested_seconds: seconds,
-                submitted_at: now,
-            });
+            self.queue
+                .push_for_device(
+                    QueuedRequest {
+                        id,
+                        user: self.jobs[job].tenant.clone(),
+                        requested_seconds: seconds,
+                        submitted_at: now,
+                    },
+                    device,
+                )
+                .expect("reservation ids are unique and batch estimates finite");
             self.try_dispatch(device, now);
             if self.leases.active(device).is_some() {
                 self.try_preempt(device, job, id, now);
@@ -753,11 +740,10 @@ impl<'a> Sim<'a> {
         if self.leases.active(device).is_some() {
             return;
         }
-        let reservations = &self.reservations;
-        let Some(winner) = self.queue.pop_where(|r| {
-            matches!(reservations.get(&r.id),
-                Some(Reservation::Batch { device: d, .. }) if *d == device)
-        }) else {
+        // Every request in the device's ready set is a batch reservation on
+        // it (holds live in a separate lane), so the indexed device pop is
+        // exactly the old filtered min-scan — as a heap peek.
+        let Some(winner) = self.queue.pop_for_device(device) else {
             return;
         };
         let request = self.urgent_override(device, winner, now);
@@ -776,15 +762,10 @@ impl<'a> Sim<'a> {
         };
         let winner_urgency = self.urgency(*job, now);
         let mut pick: Option<(usize, Urgency)> = None;
-        for request in self.queue.pending() {
-            let Some(Reservation::Batch { job, device: d, .. }) =
-                self.reservations.get(&request.id)
-            else {
+        for request in self.queue.pending_for_device(device) {
+            let Some(Reservation::Batch { job, .. }) = self.reservations.get(&request.id) else {
                 continue;
             };
-            if *d != device {
-                continue;
-            }
             let urgency = self.urgency(*job, now);
             if !urgency.may_preempt(&winner_urgency) {
                 continue;
@@ -799,9 +780,11 @@ impl<'a> Sim<'a> {
         let Some((id, _)) = pick else {
             return winner;
         };
-        self.queue.push(winner);
         self.queue
-            .pop_where(|r| r.id == id)
+            .push_for_device(winner, device)
+            .expect("the popped winner re-enqueues cleanly");
+        self.queue
+            .pop_by_id(id)
             .expect("override candidate is queued")
     }
 
@@ -820,8 +803,6 @@ impl<'a> Sim<'a> {
         else {
             unreachable!("granted requests are batch reservations");
         };
-        self.devices[device].pending_estimate =
-            (self.devices[device].pending_estimate - seconds).max(0.0);
         let checkpoint = self.drivers[job]
             .as_ref()
             .expect("granted job is active")
@@ -902,7 +883,7 @@ impl<'a> Sim<'a> {
         self.evict(device, now);
         let request = self
             .queue
-            .pop_where(|r| r.id == reservation)
+            .pop_by_id(reservation)
             .expect("challenger's batch request is queued");
         self.grant(request, now);
     }
@@ -933,15 +914,15 @@ impl<'a> Sim<'a> {
                 resume: Some(evicted.lease.checkpoint),
             },
         );
-        self.devices[device].pending_estimate += evicted.lease.seconds;
         self.queue
-            .requeue_with_credit(
+            .requeue_with_credit_for_device(
                 QueuedRequest {
                     id,
                     user: evicted.lease.tenant.clone(),
                     requested_seconds: evicted.lease.seconds,
                     submitted_at: now,
                 },
+                device,
                 evicted.burned_seconds,
             )
             .expect("burned occupancy is finite and non-negative");
@@ -1036,12 +1017,10 @@ impl<'a> Sim<'a> {
     fn resolve_holds(&mut self, job: usize, pruned: &[usize]) {
         let pruned: HashSet<usize> = pruned.iter().copied().collect();
         let holds = std::mem::take(&mut self.holds[job]);
-        for (restart, (id, device, seconds)) in holds {
+        for (restart, (id, _device, seconds)) in holds {
             self.reservations.remove(&id);
-            let cancelled = self.queue.cancel_where(|r| r.id == id);
-            debug_assert_eq!(cancelled.len(), 1, "hold was queued exactly once");
-            self.devices[device].pending_estimate =
-                (self.devices[device].pending_estimate - seconds).max(0.0);
+            let cancelled = self.queue.cancel_by_id(id);
+            debug_assert!(cancelled.is_some(), "hold was queued exactly once");
             if pruned.contains(&restart) {
                 self.telemetry[job].released_reservations += 1;
                 self.telemetry[job].released_seconds += seconds;
@@ -1091,6 +1070,7 @@ impl<'a> Sim<'a> {
                 makespan: self.makespan,
             },
             tenant_usage,
+            queue_ops: self.queue.stats(),
             calibration: self.margins.into_history(),
         }
     }

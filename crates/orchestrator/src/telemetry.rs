@@ -293,6 +293,11 @@ pub struct OrchestratorReport {
     pub fleet: FleetTelemetry,
     /// End-of-run fair-share balances, sorted by tenant.
     pub tenant_usage: Vec<TenantUsage>,
+    /// Queue-operation counters of the run's fair-share dispatch queue
+    /// (pushes, pops, cancels, amortized index rebuilds, incremental
+    /// backlog refreshes) — the observability hook for spotting an
+    /// "O(log n)" path that regressed to rescans.
+    pub queue_ops: qoncord_cloud::fairshare::QueueOpStats,
     /// The margin model's learning history, in ingestion order: one entry
     /// per completed (error sample) or denied (no sample) job, carrying the
     /// per-tier margin in force after the outcome. Empty when no job
@@ -527,6 +532,7 @@ mod tests {
                 tenant: "a".into(),
                 consumed_seconds: 13.0,
             }],
+            queue_ops: qoncord_cloud::fairshare::QueueOpStats::default(),
             calibration: Vec::new(),
         };
         assert_eq!(report.tenant_balance("a"), 13.0);
