@@ -13,7 +13,7 @@
 
 use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
 use qoncord_cloud::device::hypothetical_fleet;
-use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
+use qoncord_cloud::fairshare::{FairShareQueue, QueueOpStats, QueuedRequest};
 use qoncord_cloud::policy::{estimate_feasibility_decayed, Placement, QueueModel, UsageDecayModel};
 use qoncord_cloud::reference::ReferenceFairShareQueue;
 use rand::rngs::StdRng;
@@ -29,6 +29,10 @@ struct Point {
     admissions_per_sec: f64,
     dispatches_per_sec: f64,
     makespan: f64,
+    /// The queue's own operation counters over the drain — proof the run
+    /// stayed on the indexed fast path (`index_rebuilds` tracks decay
+    /// epochs, not pops).
+    queue_ops: QueueOpStats,
 }
 
 fn request(id: usize, tenants: usize, rng: &mut StdRng) -> QueuedRequest {
@@ -160,6 +164,7 @@ fn sweep_point(tenants: usize, devices: usize, seed: u64) -> Point {
         admissions_per_sec: probes as f64 / admission_secs,
         dispatches_per_sec: n as f64 / dispatch_secs,
         makespan,
+        queue_ops: q.stats(),
     }
 }
 
@@ -224,6 +229,7 @@ fn main() {
         "admissions/s",
         "dispatches/s",
         "makespan",
+        "rebuilds",
     ];
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -235,6 +241,7 @@ fn main() {
                 fmt(p.admissions_per_sec, 0),
                 fmt(p.dispatches_per_sec, 0),
                 fmt(p.makespan, 1),
+                p.queue_ops.index_rebuilds.to_string(),
             ]
         })
         .collect();
@@ -255,16 +262,24 @@ fn main() {
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
+        let ops = &p.queue_ops;
         json.push_str(&format!(
             "    {{\"tenants\": {}, \"devices\": {}, \"queued_requests\": {}, \
              \"admissions_per_sec\": {:.1}, \"dispatches_per_sec\": {:.1}, \
-             \"makespan\": {:.2}}}{}\n",
+             \"makespan\": {:.2}, \
+             \"queue_ops\": {{\"pushes\": {}, \"pops\": {}, \"cancels\": {}, \
+             \"index_rebuilds\": {}, \"backlog_refreshes\": {}}}}}{}\n",
             p.tenants,
             p.devices,
             p.queued_requests,
             p.admissions_per_sec,
             p.dispatches_per_sec,
             p.makespan,
+            ops.pushes,
+            ops.pops,
+            ops.cancels,
+            ops.index_rebuilds,
+            ops.backlog_refreshes,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -5,6 +5,11 @@
 //! Reports the latency-sensitive (interactive) jobs' mean wait, SLA
 //! attainment, eviction counts, and wasted-work seconds: the QoS story
 //! lease preemption buys on top of PR 2's fair-share queue.
+//!
+//! Alongside the CSV it emits `BENCH_preemption.json` with each engine's
+//! flight-recorder aggregates (wait/turnaround histogram quantiles and
+//! event counts from [`OrchestratorReport::trace`]); CI smoke-runs the
+//! quick scale and validates the JSON keys.
 
 use qoncord_bench::{fmt, print_table, write_csv, ExperimentArgs};
 use qoncord_cloud::workload::{generate_workload, WorkloadConfig};
@@ -77,6 +82,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut engine_json = Vec::new();
     for engine in ["FairShare", "Preemptive", "Preemptive+Admission"] {
         let jobs = replay_workload(&specs, &replay, |_| {
             Box::new(QaoaFactory {
@@ -114,6 +120,33 @@ fn main() {
             report.total_evictions().to_string(),
             fmt(report.total_wasted_seconds(), 4),
         ]);
+        let trace = &report.trace;
+        let hist = |h: &qoncord_orchestrator::LogHistogram| {
+            format!(
+                "{{\"count\": {}, \"mean\": {:.4}, \"p50\": {:.4}, \"p90\": {:.4}, \"max\": {:.4}}}",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5).unwrap_or(0.0),
+                h.quantile(0.9).unwrap_or(0.0),
+                h.max().unwrap_or(0.0)
+            )
+        };
+        engine_json.push(format!(
+            "    {{\"engine\": \"{engine}\", \"makespan\": {:.4}, \
+             \"wait\": {}, \"turnaround\": {}, \
+             \"events\": {{\"total\": {}, \"lease_grants\": {}, \
+             \"lease_completions\": {}, \"evictions\": {}, \
+             \"admission_verdicts\": {}, \"calibration_updates\": {}}}}}",
+            report.makespan(),
+            hist(&trace.wait),
+            hist(&trace.turnaround),
+            trace.events.total(),
+            trace.events.lease_grants,
+            trace.events.lease_completions,
+            trace.events.evictions,
+            trace.events.admission_verdicts,
+            trace.events.calibration_updates,
+        ));
     }
     println!(
         "Preemptive leases on a replayed {n_jobs}-job trace ({} interactive / {} sessions, virtual seconds)\n",
@@ -148,4 +181,14 @@ fn main() {
         ],
         &csv,
     );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"preemption\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"n_jobs\": {},\n  \"engines\": [\n{}\n  ]\n}}\n",
+        if args.paper { "paper" } else { "quick" },
+        args.seed,
+        n_jobs,
+        engine_json.join(",\n"),
+    );
+    std::fs::write("BENCH_preemption.json", json).expect("write BENCH_preemption.json");
+    println!("wrote BENCH_preemption.json");
 }

@@ -68,8 +68,11 @@ impl SimulationResult {
     }
 
     /// Coefficient of variation of device busy time (load balance; lower is
-    /// more balanced).
+    /// more balanced). Zero for an empty or entirely idle fleet.
     pub fn load_imbalance(&self) -> f64 {
+        if self.device_busy.is_empty() {
+            return 0.0;
+        }
         let n = self.device_busy.len() as f64;
         let mean = self.device_busy.iter().sum::<f64>() / n;
         if mean <= 0.0 {
@@ -336,6 +339,27 @@ mod tests {
             assert!((ui * r.makespan - busy).abs() < 1e-9);
         }
         assert!(r.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn load_imbalance_is_zero_for_empty_or_idle_fleets() {
+        let empty = SimulationResult {
+            policy: Policy::LeastBusy,
+            outcomes: vec![],
+            makespan: 0.0,
+            useful_circuits: 0,
+            executed_circuits: 0,
+            device_busy: vec![],
+            device_circuits: vec![],
+        };
+        assert_eq!(empty.load_imbalance(), 0.0);
+        assert!(!empty.load_imbalance().is_nan());
+        let idle = SimulationResult {
+            device_busy: vec![0.0, 0.0],
+            device_circuits: vec![0, 0],
+            ..empty
+        };
+        assert_eq!(idle.load_imbalance(), 0.0);
     }
 
     #[test]

@@ -166,6 +166,17 @@ pub enum AdmissionDecision {
     Reject,
 }
 
+impl AdmissionDecision {
+    /// Stable machine-readable name (trace serializations key on it).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdmissionDecision::Admit => "admit",
+            AdmissionDecision::Downgrade => "downgrade",
+            AdmissionDecision::Reject => "reject",
+        }
+    }
+}
+
 /// The full outcome: decision, the deadline that survives it, the
 /// feasibility projection that justified it, and the margin it was judged
 /// under.

@@ -73,6 +73,17 @@ pub enum ServiceClass {
 }
 
 impl ServiceClass {
+    /// Stable machine-readable name (trace serializations key on it).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServiceClass::Interactive => "interactive",
+            ServiceClass::Standard => "standard",
+            ServiceClass::Batch => "batch",
+            ServiceClass::Absolute => "absolute",
+            ServiceClass::BestEffort => "best_effort",
+        }
+    }
+
     /// The class of a job submitted with `deadline`.
     pub fn of(deadline: Option<Deadline>) -> Self {
         use crate::admission::DeadlineClass;
@@ -218,10 +229,19 @@ impl MarginModel {
     /// miss signal, as a large positive error). `time` stamps the history
     /// entry.
     ///
+    /// Returns the history entry the outcome produced (the flight recorder
+    /// emits it as a calibration-update event).
+    ///
     /// # Panics
     ///
     /// Panics if `projected` or `realized` is not finite.
-    pub fn record_completion(&mut self, time: f64, key: MarginKey, projected: f64, realized: f64) {
+    pub fn record_completion(
+        &mut self,
+        time: f64,
+        key: MarginKey,
+        projected: f64,
+        realized: f64,
+    ) -> &MarginSnapshot {
         assert!(
             projected.is_finite() && realized.is_finite(),
             "completions must be finite times"
@@ -231,15 +251,16 @@ impl MarginModel {
         while window.len() > self.config.window {
             window.pop_front();
         }
-        self.snapshot(time, key, Some(realized - projected));
+        self.snapshot(time, key, Some(realized - projected))
     }
 
     /// Ingests a denied job. Denials carry no realized completion and feed
     /// no error window; they are recorded in the history so telemetry can
-    /// correlate each denial with the margin that produced it.
-    pub fn record_denial(&mut self, time: f64, key: MarginKey) {
+    /// correlate each denial with the margin that produced it. Returns the
+    /// history entry, like [`record_completion`](Self::record_completion).
+    pub fn record_denial(&mut self, time: f64, key: MarginKey) -> &MarginSnapshot {
         self.denials += 1;
-        self.snapshot(time, key, None);
+        self.snapshot(time, key, None)
     }
 
     /// Error samples currently in `key`'s window.
@@ -262,7 +283,7 @@ impl MarginModel {
         self.history
     }
 
-    fn snapshot(&mut self, time: f64, key: MarginKey, error: Option<f64>) {
+    fn snapshot(&mut self, time: f64, key: MarginKey, error: Option<f64>) -> &MarginSnapshot {
         let snapshot = MarginSnapshot {
             time,
             key,
@@ -271,6 +292,7 @@ impl MarginModel {
             samples: self.samples(key),
         };
         self.history.push(snapshot);
+        self.history.last().expect("just pushed")
     }
 }
 

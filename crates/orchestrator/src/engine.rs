@@ -69,6 +69,7 @@ use crate::telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
     TenantUsage,
 };
+use crate::trace::{TraceEvent, TraceHandle, Tracer};
 use qoncord_cloud::device::CloudDevice;
 use qoncord_cloud::fairshare::{FairShareQueue, FairShareWeights, QueuedRequest};
 use qoncord_cloud::policy::{
@@ -167,6 +168,12 @@ pub struct OrchestratorConfig {
     pub decay: UsageDecayConfig,
     /// Seed of the placement RNG (only randomized policies consume it).
     pub seed: u64,
+    /// Flight-recorder sink (detached by default): every engine decision is
+    /// emitted as a [`TraceEvent`] to the attached
+    /// [`TraceSink`](crate::trace::TraceSink). Detached or not, the engine
+    /// aggregates the stream into
+    /// [`OrchestratorReport::trace`](crate::telemetry::OrchestratorReport).
+    pub trace: TraceHandle,
 }
 
 impl Default for OrchestratorConfig {
@@ -182,6 +189,7 @@ impl Default for OrchestratorConfig {
             split: SplitConfig::default(),
             decay: UsageDecayConfig::default(),
             seed: 0x09C0,
+            trace: TraceHandle::default(),
         }
     }
 }
@@ -348,6 +356,10 @@ struct Sim<'a> {
     reservations: HashMap<usize, Reservation>,
     next_reservation: usize,
     makespan: f64,
+    /// The flight recorder: stamps every decision with the virtual clock
+    /// and a run-wide sequence number, aggregates metrics, and forwards to
+    /// the configured sink.
+    tracer: Tracer,
 }
 
 /// Ranks the fleet's devices into quality tiers: tier = rank of the
@@ -379,6 +391,23 @@ impl<'a> Sim<'a> {
         for (j, job) in jobs.iter().enumerate() {
             events.push(job.arrival, Event::Arrival(j));
         }
+        let device_tier = device_tiers(fleet);
+        let mut tracer = Tracer::new(config.trace.clone());
+        // Run preamble: the fleet's identity, so every trace consumer can
+        // resolve device indices (and price device-seconds) from the
+        // stream alone.
+        for (i, device) in fleet.iter().enumerate() {
+            tracer.emit(
+                0.0,
+                TraceEvent::DeviceDefined {
+                    device: i,
+                    name: device.name().to_owned(),
+                    tier: device_tier[i],
+                    speed: device.speed(),
+                    cost_per_second: device.cost_per_second(),
+                },
+            );
+        }
         Sim {
             config,
             fleet,
@@ -400,7 +429,7 @@ impl<'a> Sim<'a> {
             in_flight: jobs.iter().map(|_| HashSet::new()).collect(),
             decay_epochs: 0,
             margins: MarginModel::new(config.admission.safety_margin, config.calibration),
-            device_tier: device_tiers(fleet),
+            device_tier,
             margin_key: jobs.iter().map(|_| None).collect(),
             telemetry: jobs
                 .iter()
@@ -416,6 +445,7 @@ impl<'a> Sim<'a> {
             reservations: HashMap::new(),
             next_reservation: 0,
             makespan: 0.0,
+            tracer,
         }
     }
 
@@ -456,6 +486,13 @@ impl<'a> Sim<'a> {
                 *credit *= factor;
             }
             self.decay_epochs = due;
+            self.tracer.emit(
+                now,
+                TraceEvent::DecayEpoch {
+                    crossed: crossed as u64,
+                    factor,
+                },
+            );
         }
     }
 
@@ -480,6 +517,15 @@ impl<'a> Sim<'a> {
 
     fn admit(&mut self, job: usize, now: f64) {
         let spec = &self.jobs[job];
+        self.tracer.emit(
+            now,
+            TraceEvent::Arrival {
+                job,
+                id: spec.id,
+                tenant: spec.tenant.clone(),
+                priority: spec.priority,
+            },
+        );
         let views = self.placement_views(now);
         // The policy only steers device choice here; circuit counts are an
         // a-priori estimate of the job's footprint.
@@ -505,12 +551,27 @@ impl<'a> Sim<'a> {
         let runner =
             match split::build_runner(spec, &selected, self.fleet, &views, self.config, now) {
                 Err(rejected) => {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::FilterRejected {
+                            job,
+                            devices: rejected.len(),
+                        },
+                    );
                     self.status[job] = Some(JobStatus::Rejected { rejected });
                     return;
                 }
                 Ok(runner) => runner,
             };
         self.telemetry[job].shards = runner.shard_count();
+        self.tracer.emit(
+            now,
+            TraceEvent::ShardPlan {
+                job,
+                shards: runner.shard_count(),
+                devices: runner.shard_devices(),
+            },
+        );
 
         // Deadline-aware admission: project the job's completion from the
         // fleet load its placements see, then let the controller decide.
@@ -558,9 +619,22 @@ impl<'a> Sim<'a> {
             estimate,
             margin,
         );
+        self.tracer.emit(
+            now,
+            TraceEvent::AdmissionVerdict {
+                job,
+                decision: outcome.decision,
+                estimate,
+                margin: spec.deadline.is_some().then_some(margin),
+                deadline: outcome.deadline,
+                assessed_deadline: outcome.assessed_deadline,
+            },
+        );
         match outcome.decision {
             AdmissionDecision::Reject => {
-                self.margins.record_denial(now, key);
+                let snapshot = *self.margins.record_denial(now, key);
+                self.tracer
+                    .emit(now, TraceEvent::CalibrationUpdate { job, snapshot });
                 self.status[job] = Some(JobStatus::Denied {
                     estimate,
                     deadline: outcome
@@ -588,6 +662,8 @@ impl<'a> Sim<'a> {
                 .credit_usage(&spec.tenant, credit)
                 .expect("priority credit is finite and non-negative");
             self.priority_credit[job] = credit;
+            self.tracer
+                .emit(now, TraceEvent::PriorityCredit { job, credit });
         }
         if runner.is_multi_device() {
             // Hold a provisional fine-tuning reservation per restart,
@@ -611,6 +687,16 @@ impl<'a> Sim<'a> {
                     )
                     .expect("reservation ids are unique and hold estimates finite");
                 self.holds[job].insert(restart, (id, hold_device, hold_seconds));
+                self.tracer.emit(
+                    now,
+                    TraceEvent::HoldPush {
+                        reservation: id,
+                        job,
+                        restart,
+                        device: hold_device,
+                        seconds: hold_seconds,
+                    },
+                );
             }
         }
         self.drivers[job] = Some(runner);
@@ -723,6 +809,17 @@ impl<'a> Sim<'a> {
                     device,
                 )
                 .expect("reservation ids are unique and batch estimates finite");
+            self.tracer.emit(
+                now,
+                TraceEvent::QueuePush {
+                    reservation: id,
+                    job,
+                    shard,
+                    device,
+                    seconds,
+                    requeued: false,
+                },
+            );
             self.try_dispatch(device, now);
             if self.leases.active(device).is_some() {
                 self.try_preempt(device, job, id, now);
@@ -829,6 +926,18 @@ impl<'a> Sim<'a> {
             now,
         );
         let (end, id) = (lease.expires_at, lease.id);
+        self.tracer.emit(
+            now,
+            TraceEvent::LeaseGrant {
+                lease: id,
+                reservation: request.id,
+                job,
+                shard,
+                device,
+                seconds,
+                expires_at: end,
+            },
+        );
         self.events
             .push(end, Event::LeaseDone { device, lease: id });
     }
@@ -903,6 +1012,17 @@ impl<'a> Sim<'a> {
         self.telemetry[victim].wasted_seconds += evicted.burned_seconds;
         self.telemetry[victim].record_shard_waste(shard, evicted.burned_seconds);
         self.eviction_credit[victim] += evicted.burned_seconds;
+        self.tracer.emit(
+            now,
+            TraceEvent::Eviction {
+                lease: evicted.lease.id,
+                job: victim,
+                shard,
+                device,
+                burned_seconds: evicted.burned_seconds,
+                credit: evicted.burned_seconds,
+            },
+        );
         let id = self.next_id();
         self.reservations.insert(
             id,
@@ -926,11 +1046,24 @@ impl<'a> Sim<'a> {
                 evicted.burned_seconds,
             )
             .expect("burned occupancy is finite and non-negative");
+        self.tracer.emit(
+            now,
+            TraceEvent::QueuePush {
+                reservation: id,
+                job: victim,
+                shard,
+                device,
+                seconds: evicted.lease.seconds,
+                requeued: true,
+            },
+        );
     }
 
     fn on_lease_done(&mut self, device: usize, lease: u64, now: f64) {
         // Expiry of an evicted lease: the device moved on, nothing to do.
         let Some(lease) = self.leases.complete(device, lease) else {
+            self.tracer
+                .emit(now, TraceEvent::StaleExpiry { lease, device });
             return;
         };
         let job = lease.job;
@@ -947,6 +1080,19 @@ impl<'a> Sim<'a> {
             "estimated and actual batch durations must agree"
         );
         self.makespan = self.makespan.max(now);
+        self.tracer.emit(
+            now,
+            TraceEvent::LeaseComplete {
+                lease: lease.id,
+                job,
+                shard,
+                device,
+                granted_at: lease.granted_at,
+                seconds: result.duration,
+                executions: result.executions,
+                finished: result.finished,
+            },
+        );
         self.devices[device].busy_seconds += result.duration;
         self.devices[device].executions += result.executions;
         let telemetry = &mut self.telemetry[job];
@@ -963,7 +1109,7 @@ impl<'a> Sim<'a> {
             .expect("batch durations are finite and non-negative");
 
         if let Some(pruned) = &result.pruned {
-            self.resolve_holds(job, pruned);
+            self.resolve_holds(job, pruned, now);
         }
         if result.finished {
             debug_assert!(
@@ -978,8 +1124,11 @@ impl<'a> Sim<'a> {
             if let (Some(key), Some(estimate)) =
                 (self.margin_key[job], self.telemetry[job].admission_estimate)
             {
-                self.margins
+                let snapshot = *self
+                    .margins
                     .record_completion(now, key, estimate.completion, now);
+                self.tracer
+                    .emit(now, TraceEvent::CalibrationUpdate { job, snapshot });
                 self.telemetry[job].estimate_error = Some(now - estimate.completion);
             }
             let spec = &self.jobs[job];
@@ -1005,6 +1154,7 @@ impl<'a> Sim<'a> {
                 .expect("finished job had a driver")
                 .into_report();
             self.status[job] = Some(JobStatus::Completed { report });
+            self.tracer.emit(now, TraceEvent::JobComplete { job });
         } else {
             self.enqueue_ready_batches(job, now);
         }
@@ -1014,14 +1164,31 @@ impl<'a> Sim<'a> {
     /// Resolves every provisional hold of `job` at triage: holds of pruned
     /// restarts are released back to the fleet (and counted); holds of
     /// survivors are converted into the real batch requests that follow.
-    fn resolve_holds(&mut self, job: usize, pruned: &[usize]) {
+    /// Holds resolve in restart order — the hold map is unordered, and both
+    /// the trace's determinism contract and the released-seconds sum need a
+    /// canonical order.
+    fn resolve_holds(&mut self, job: usize, pruned: &[usize], now: f64) {
         let pruned: HashSet<usize> = pruned.iter().copied().collect();
-        let holds = std::mem::take(&mut self.holds[job]);
-        for (restart, (id, _device, seconds)) in holds {
+        let mut holds: Vec<(usize, (usize, usize, f64))> =
+            std::mem::take(&mut self.holds[job]).into_iter().collect();
+        holds.sort_by_key(|(restart, _)| *restart);
+        for (restart, (id, device, seconds)) in holds {
             self.reservations.remove(&id);
             let cancelled = self.queue.cancel_by_id(id);
             debug_assert!(cancelled.is_some(), "hold was queued exactly once");
-            if pruned.contains(&restart) {
+            let was_pruned = pruned.contains(&restart);
+            self.tracer.emit(
+                now,
+                TraceEvent::HoldRelease {
+                    reservation: id,
+                    job,
+                    restart,
+                    device,
+                    seconds,
+                    pruned: was_pruned,
+                },
+            );
+            if was_pruned {
                 self.telemetry[job].released_reservations += 1;
                 self.telemetry[job].released_seconds += seconds;
             }
@@ -1072,6 +1239,7 @@ impl<'a> Sim<'a> {
             tenant_usage,
             queue_ops: self.queue.stats(),
             calibration: self.margins.into_history(),
+            trace: self.tracer.into_summary(),
         }
     }
 }

@@ -19,6 +19,11 @@
 //! higher-priority challenger may evict a lower-priority holder, and a
 //! deadline-imminent challenger may evict an equal-priority holder that is
 //! not itself deadline-imminent.
+//!
+//! Every grant, expiry, and eviction in a lease's life is also emitted to
+//! the flight recorder ([`crate::trace`]) as `LeaseGrant`, `LeaseComplete`,
+//! `StaleExpiry`, and `Eviction` events, so a device's occupancy can be
+//! replayed or rendered as a Perfetto timeline after the fact.
 
 use qoncord_core::phase::ShardCheckpoint;
 

@@ -46,6 +46,11 @@
 //! - [`telemetry`] — per-job wait/makespan/device-seconds/cost, eviction
 //!   and wasted-work accounting, per-tenant SLA attainment, and fleet
 //!   utilization.
+//! - [`trace`] — the flight recorder: every engine decision as a typed
+//!   [`TraceEvent`] through pluggable sinks, with
+//!   latency histograms on the report, a Perfetto/Chrome timeline
+//!   exporter, and a replayer that rebuilds the report's telemetry from
+//!   the event stream alone.
 //!
 //! Per-job numeric results are **identical** to the closed-loop
 //! [`qoncord_core::scheduler::QoncordScheduler`] given the same ladder and
@@ -107,6 +112,7 @@ pub mod lease;
 pub mod replay;
 pub mod split;
 pub mod telemetry;
+pub mod trace;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionOutcome,
@@ -122,6 +128,10 @@ pub use split::SplitConfig;
 pub use telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
     TenantSla, TenantUsage,
+};
+pub use trace::{
+    JsonlSink, LogHistogram, MemorySink, MetricsSink, NoopSink, RingBufferSink, TraceEvent,
+    TraceHandle, TraceRecord, TraceSink, TraceSummary,
 };
 
 #[cfg(test)]

@@ -200,6 +200,14 @@ impl JobRunner {
         }
     }
 
+    /// Every shard's current fleet device, indexed by shard — the
+    /// shard-plan layout the flight recorder emits at admission.
+    pub(crate) fn shard_devices(&self) -> Vec<usize> {
+        (0..self.shard_count())
+            .map(|shard| self.shard_device(shard))
+            .collect()
+    }
+
     /// Consumes the runner into the job's training report.
     pub(crate) fn into_report(self) -> QoncordReport {
         match self {

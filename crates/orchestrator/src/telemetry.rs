@@ -303,6 +303,12 @@ pub struct OrchestratorReport {
     /// per-tier margin in force after the outcome. Empty when no job
     /// reached admission.
     pub calibration: Vec<MarginSnapshot>,
+    /// The flight recorder's always-on aggregation of the run's event
+    /// stream: event counts, log-scale histograms of wait / turnaround /
+    /// queue depth / per-device backlog, and per-device busy/idle
+    /// timelines — populated whether or not a
+    /// [`TraceSink`](crate::trace::TraceSink) was attached.
+    pub trace: crate::trace::TraceSummary,
 }
 
 impl OrchestratorReport {
@@ -534,6 +540,7 @@ mod tests {
             }],
             queue_ops: qoncord_cloud::fairshare::QueueOpStats::default(),
             calibration: Vec::new(),
+            trace: crate::trace::TraceSummary::default(),
         };
         assert_eq!(report.tenant_balance("a"), 13.0);
         assert_eq!(report.tenant_balance("zzz"), 0.0);
@@ -545,5 +552,50 @@ mod tests {
         assert_eq!(sla[0].attainment(), Some(0.5));
         assert_eq!(sla[1].attainment(), None);
         assert_eq!(report.sla_attainment(), Some(0.5));
+    }
+
+    /// Derived report metrics stay well-defined (never NaN) on degenerate
+    /// inputs: an empty run, and a run where nothing ever executed.
+    #[test]
+    fn derived_metrics_are_nan_free_on_empty_and_zero_makespan_runs() {
+        let empty = OrchestratorReport {
+            jobs: vec![],
+            fleet: FleetTelemetry {
+                devices: vec![],
+                makespan: 0.0,
+            },
+            tenant_usage: vec![],
+            queue_ops: qoncord_cloud::fairshare::QueueOpStats::default(),
+            calibration: Vec::new(),
+            trace: crate::trace::TraceSummary::default(),
+        };
+        assert_eq!(empty.speedup_vs_sequential(), 1.0);
+        assert_eq!(empty.mean_wait(), 0.0);
+        assert_eq!(empty.fleet.mean_utilization(), 0.0);
+        assert_eq!(empty.mean_abs_estimate_error(), None);
+        assert_eq!(empty.sla_attainment(), None);
+        assert_eq!(empty.sequential_makespan(), 0.0);
+        assert_eq!(empty.total_cost(), 0.0);
+        assert!(empty.fleet.utilization().is_empty());
+
+        // Devices exist but nothing ran: makespan 0 must not divide.
+        let idle = OrchestratorReport {
+            jobs: vec![],
+            fleet: FleetTelemetry {
+                devices: vec![DeviceTelemetry {
+                    name: "a".into(),
+                    busy_seconds: 0.0,
+                    wasted_seconds: 0.0,
+                    evictions: 0,
+                    executions: 0,
+                }],
+                makespan: 0.0,
+            },
+            ..empty.clone()
+        };
+        assert_eq!(idle.speedup_vs_sequential(), 1.0);
+        assert_eq!(idle.fleet.mean_utilization(), 0.0);
+        assert_eq!(idle.fleet.utilization(), vec![0.0]);
+        assert!(!idle.fleet.mean_utilization().is_nan());
     }
 }

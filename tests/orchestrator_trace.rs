@@ -1,0 +1,245 @@
+//! Flight-recorder guarantees, end to end: on the contended preemption
+//! trace and the restart-splitting trace, the captured event stream must be
+//! *lossless* (replaying it rebuilds the engine's report bit-for-bit),
+//! *deterministic* (two identical runs serialize to byte-identical JSONL),
+//! and *consumable* (the Chrome/Perfetto export validates with one busy
+//! track per fleet device; the report's histograms cover every job).
+
+use qoncord::cloud::policy::Policy;
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::scheduler::QoncordConfig;
+use qoncord::core::SelectionPolicy;
+use qoncord::orchestrator::trace::{
+    self, JsonlSink, MemorySink, RingBufferSink, TraceHandle, CHROME_FLEET_PID, CHROME_JOBS_PID,
+};
+use qoncord::orchestrator::{
+    two_lf_one_hf_fleet, two_lf_two_hf_fleet, DeadlineClass, Orchestrator, OrchestratorConfig,
+    OrchestratorReport, PreemptionConfig, SplitConfig, TenantJob,
+};
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn factory() -> QaoaFactory {
+    QaoaFactory {
+        problem: MaxCut::new(Graph::paper_graph_7()),
+        layers: 1,
+    }
+}
+
+/// The `orchestrator_preemption` trace: seven batch tenants at t=0 plus an
+/// urgent interactive arrival at t=1, preemption on, 2-LF/1-HF fleet.
+fn preemption_jobs() -> Vec<TenantJob> {
+    (0..8)
+        .map(|i| {
+            let cfg = QoncordConfig {
+                exploration_max_iterations: 8,
+                finetune_max_iterations: 10,
+                seed: 0xBEE5 + i as u64,
+                ..QoncordConfig::default()
+            };
+            let job = TenantJob::new(i, format!("tenant-{i}"), 0.0, Box::new(factory()))
+                .with_restarts(3)
+                .with_config(cfg);
+            if i == 7 {
+                let mut job = job
+                    .with_priority(4)
+                    .with_deadline_class(DeadlineClass::Interactive);
+                job.arrival = 1.0;
+                job
+            } else {
+                job
+            }
+        })
+        .collect()
+}
+
+fn run_preemption(trace: TraceHandle) -> OrchestratorReport {
+    let config = OrchestratorConfig {
+        policy: Policy::Qoncord,
+        preemption: PreemptionConfig::enabled(),
+        trace,
+        ..OrchestratorConfig::default()
+    };
+    Orchestrator::new(config, two_lf_one_hf_fleet()).run(&preemption_jobs())
+}
+
+/// The `orchestrator_split` trace: eight restart-heavy jobs staggered by
+/// half a solo run's busy time, splitting on, twin 2-LF/2-HF fleet.
+fn split_jobs(gap: f64) -> Vec<TenantJob> {
+    (0..8)
+        .map(|i| {
+            let cfg = QoncordConfig {
+                exploration_max_iterations: 8,
+                finetune_max_iterations: 6,
+                selection: SelectionPolicy::TopK(2),
+                seed: 100 + i as u64,
+                ..QoncordConfig::default()
+            };
+            TenantJob::new(
+                i,
+                format!("tenant-{i}"),
+                i as f64 * gap,
+                Box::new(factory()),
+            )
+            .with_restarts(6)
+            .with_config(cfg)
+        })
+        .collect()
+}
+
+fn run_split(trace: TraceHandle) -> OrchestratorReport {
+    let solo = Orchestrator::new(OrchestratorConfig::default(), two_lf_two_hf_fleet())
+        .run(&split_jobs(0.0)[..1]);
+    let gap = solo.jobs[0].telemetry.busy_seconds() * 0.5;
+    let config = OrchestratorConfig {
+        split: SplitConfig::enabled(),
+        trace,
+        ..OrchestratorConfig::default()
+    };
+    Orchestrator::new(config, two_lf_two_hf_fleet()).run(&split_jobs(gap))
+}
+
+#[test]
+fn reconstruction_matches_the_engine_report_on_the_preemption_trace() {
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let report = run_preemption(TraceHandle::to(sink.clone()));
+    assert_eq!(report.completed(), 8);
+    assert!(report.total_evictions() > 0, "trace must exercise eviction");
+
+    let records = sink.borrow().records().to_vec();
+    let rebuilt = trace::reconstruct_report(&records);
+    let diff = rebuilt.diff(&report);
+    assert!(
+        diff.is_empty(),
+        "replayed telemetry must match the engine bit-for-bit:\n{}",
+        diff.join("\n")
+    );
+
+    // The stream is internally consistent with the report's own counters.
+    let counts = &report.trace.events;
+    assert_eq!(counts.evictions, report.total_evictions());
+    assert_eq!(counts.job_completions, report.completed() as u64);
+    assert_eq!(counts.devices_defined, 3);
+    assert!(counts.lease_grants >= counts.lease_completions);
+    assert_eq!(counts.total(), records.len() as u64);
+    // seq is dense and strictly increasing.
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+    }
+}
+
+#[test]
+fn reconstruction_matches_the_engine_report_on_the_split_trace() {
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let report = run_split(TraceHandle::to(sink.clone()));
+    assert_eq!(report.completed(), 8);
+    assert!(
+        report.jobs.iter().any(|j| j.telemetry.shards > 2),
+        "trace must exercise splitting"
+    );
+
+    let records = sink.borrow().records().to_vec();
+    let rebuilt = trace::reconstruct_report(&records);
+    let diff = rebuilt.diff(&report);
+    assert!(
+        diff.is_empty(),
+        "replayed telemetry must match the engine bit-for-bit:\n{}",
+        diff.join("\n")
+    );
+}
+
+#[test]
+fn jsonl_capture_is_byte_identical_across_identical_runs() {
+    let capture = || {
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        run_preemption(TraceHandle::to(sink.clone()));
+        let jsonl = sink.borrow().as_str().to_owned();
+        jsonl
+    };
+    let first = capture();
+    let second = capture();
+    assert!(!first.is_empty());
+    assert_eq!(
+        first.as_bytes(),
+        second.as_bytes(),
+        "same config + seed must serialize byte-identically"
+    );
+}
+
+#[test]
+fn ring_buffer_capture_equals_the_tail_of_the_full_capture() {
+    let full = Rc::new(RefCell::new(MemorySink::new()));
+    run_preemption(TraceHandle::to(full.clone()));
+    let full = full.borrow().records().to_vec();
+
+    let capacity = 64;
+    let ring = Rc::new(RefCell::new(RingBufferSink::with_capacity(capacity)));
+    run_preemption(TraceHandle::to(ring.clone()));
+    let ring = ring.borrow();
+
+    assert!(full.len() > capacity, "trace must overflow the ring");
+    assert_eq!(ring.len(), capacity);
+    assert_eq!(ring.dropped(), (full.len() - capacity) as u64);
+    assert_eq!(
+        ring.records(),
+        full[full.len() - capacity..],
+        "the ring drops oldest-first and keeps the newest records intact"
+    );
+}
+
+#[test]
+fn chrome_export_validates_with_a_busy_track_per_device() {
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let report = run_split(TraceHandle::to(sink.clone()));
+    let json = trace::chrome_export(sink.borrow().records());
+    let summary = trace::validate_chrome_trace(&json).expect("export must be valid JSON");
+
+    let device_tracks: Vec<_> = summary
+        .tracks_of(CHROME_FLEET_PID)
+        .into_iter()
+        .filter(|t| t.name.is_some())
+        .collect();
+    assert_eq!(device_tracks.len(), report.fleet.devices.len());
+    for track in &device_tracks {
+        assert!(
+            track.duration_events > 0,
+            "device track {:?} must carry at least one lease slice",
+            track.name
+        );
+    }
+    // Every job gets a span on the tenant side.
+    let job_tracks = summary.tracks_of(CHROME_JOBS_PID);
+    assert_eq!(
+        job_tracks.iter().filter(|t| t.duration_events > 0).count(),
+        report.jobs.len()
+    );
+}
+
+#[test]
+fn report_histograms_and_timelines_cover_every_job_and_device() {
+    let report = run_preemption(TraceHandle::none());
+    let trace = &report.trace;
+    let completed = report.completed() as u64;
+    assert_eq!(trace.wait.count(), completed);
+    assert_eq!(trace.turnaround.count(), completed);
+    assert!(trace.wait.mean().is_finite());
+    assert!(trace.turnaround.mean() >= trace.wait.mean());
+    assert!(trace.queue_depth.count() > 0);
+    assert!(trace.device_backlog.count() > 0);
+
+    assert_eq!(trace.timelines.len(), report.fleet.devices.len());
+    for (timeline, device) in trace.timelines.iter().zip(&report.fleet.devices) {
+        assert_eq!(timeline.name, device.name);
+        assert!(
+            (timeline.busy_seconds() - device.busy_seconds).abs() < 1e-9,
+            "{}: timeline busy {} vs report {}",
+            device.name,
+            timeline.busy_seconds(),
+            device.busy_seconds
+        );
+        assert!(timeline.idle_seconds(report.makespan()) >= -1e-9);
+    }
+    let wasted: f64 = trace.timelines.iter().map(|t| t.wasted_seconds()).sum();
+    assert!((wasted - report.total_wasted_seconds()).abs() < 1e-9);
+}
