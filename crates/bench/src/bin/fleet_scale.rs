@@ -291,6 +291,30 @@ fn main() {
          \"dispatch_speedup\": {speedup:.2}}}\n"
     ));
     json.push_str("}\n");
+    qoncord_bench::require_keys(
+        &json,
+        &[
+            "experiment",
+            "mode",
+            "seed",
+            "sweep",
+            "tenants",
+            "devices",
+            "queued_requests",
+            "admissions_per_sec",
+            "dispatches_per_sec",
+            "makespan",
+            "queue_ops",
+            "pushes",
+            "pops",
+            "cancels",
+            "index_rebuilds",
+            "backlog_refreshes",
+            "reference_comparison",
+            "dispatch_speedup",
+        ],
+    )
+    .expect("BENCH_fleet_scale.json schema");
     std::fs::write("BENCH_fleet_scale.json", json).expect("write BENCH_fleet_scale.json");
     println!("wrote BENCH_fleet_scale.json");
 }

@@ -189,6 +189,32 @@ fn main() {
         n_jobs,
         engine_json.join(",\n"),
     );
+    qoncord_bench::require_keys(
+        &json,
+        &[
+            "experiment",
+            "mode",
+            "seed",
+            "n_jobs",
+            "engines",
+            "engine",
+            "makespan",
+            "wait",
+            "turnaround",
+            "count",
+            "mean",
+            "p50",
+            "p90",
+            "max",
+            "events",
+            "lease_grants",
+            "lease_completions",
+            "evictions",
+            "admission_verdicts",
+            "calibration_updates",
+        ],
+    )
+    .expect("BENCH_preemption.json schema");
     std::fs::write("BENCH_preemption.json", json).expect("write BENCH_preemption.json");
     println!("wrote BENCH_preemption.json");
 }

@@ -155,6 +155,51 @@ pub fn fmt(value: f64, precision: usize) -> String {
     format!("{value:.precision$}")
 }
 
+/// Validates that `json` parses and that every name in `required` appears
+/// as an object key somewhere in it (at any nesting depth).
+///
+/// This is the one place the `BENCH_*.json` schema contract lives: each
+/// experiment binary self-checks its artifact through this helper before
+/// writing it, and CI re-checks the committed copies the same way —
+/// replacing the grep-per-key shell loops that used to duplicate the key
+/// lists in the workflow file.
+///
+/// # Errors
+///
+/// Returns the parse error, or lists every missing key.
+pub fn require_keys(json: &str, required: &[&str]) -> Result<(), String> {
+    use qoncord_orchestrator::trace::json::{parse, Value};
+    let mut keys = std::collections::BTreeSet::new();
+    fn collect<'v>(value: &'v Value, keys: &mut std::collections::BTreeSet<&'v str>) {
+        match value {
+            Value::Object(fields) => {
+                for (k, v) in fields {
+                    keys.insert(k.as_str());
+                    collect(v, keys);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    collect(v, keys);
+                }
+            }
+            _ => {}
+        }
+    }
+    let parsed = parse(json)?;
+    collect(&parsed, &mut keys);
+    let missing: Vec<&str> = required
+        .iter()
+        .copied()
+        .filter(|k| !keys.contains(k))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("missing keys: {}", missing.join(", ")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +235,17 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_table_panics() {
         print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn require_keys_finds_nested_keys_and_names_missing_ones() {
+        let json = r#"{"outer": {"inner": [{"deep": 1}]}, "top": 2}"#;
+        assert_eq!(
+            require_keys(json, &["outer", "inner", "deep", "top"]),
+            Ok(())
+        );
+        let err = require_keys(json, &["deep", "absent", "also_absent"]).unwrap_err();
+        assert_eq!(err, "missing keys: absent, also_absent");
+        assert!(require_keys("not json", &[]).is_err());
     }
 }

@@ -84,6 +84,7 @@ impl TranspiledCircuit {
 /// Global phases are dropped — they are unobservable in every quantity this
 /// repository measures.
 pub fn decompose_to_basis(circuit: &Circuit) -> Circuit {
+    let _prof = qoncord_prof::span("circuit::decompose");
     let mut out = Circuit::new(circuit.n_qubits(), circuit.n_params());
     for gate in circuit.gates() {
         decompose_gate(gate, &mut out);
@@ -233,6 +234,7 @@ fn decompose_gate(gate: &Gate, out: &mut Circuit) {
 /// their angles are compatible (both constant or sharing a parameter), drops
 /// identity rotations, and cancels immediately-repeated CNOT pairs.
 pub fn optimize(circuit: &Circuit) -> Circuit {
+    let _prof = qoncord_prof::span("circuit::optimize");
     let mut gates: Vec<Gate> = Vec::with_capacity(circuit.len());
     for gate in circuit.gates() {
         // Drop constant RZ(0 mod 2π).
@@ -596,6 +598,7 @@ pub fn transpile(circuit: &Circuit, device_coupling: &CouplingMap) -> Transpiled
         device_coupling.n_qubits(),
         circuit.n_qubits()
     );
+    let _prof = qoncord_prof::span("circuit::transpile");
     let (region, region_to_device) = device_coupling.connected_subgraph(circuit.n_qubits());
     let basis = decompose_to_basis(circuit);
     let basis = optimize(&basis);

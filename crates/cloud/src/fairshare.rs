@@ -433,6 +433,7 @@ impl FairShareQueue {
         if !self.stale {
             return;
         }
+        let _prof = qoncord_prof::span("fairshare::rebuild");
         self.stale = false;
         self.stats.index_rebuilds += 1;
         for uid in 0..self.states.len() {
@@ -441,6 +442,7 @@ impl FairShareQueue {
     }
 
     fn insert_request(&mut self, request: QueuedRequest, tag: Tag) -> Result<(), FairShareError> {
+        let _prof = qoncord_prof::span("fairshare::push");
         if !(request.requested_seconds.is_finite() && request.submitted_at.is_finite()) {
             return Err(FairShareError::NonFiniteRequest {
                 requested_seconds: request.requested_seconds,
@@ -679,6 +681,7 @@ impl FairShareQueue {
     /// releases its in-flight slot. The caller should
     /// [`record_usage`](Self::record_usage) once the job actually runs.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
+        let _prof = qoncord_prof::span("fairshare::pop");
         self.ensure_fresh();
         let (_, &(uid, tag)) = self.ready_all.first_key_value()?;
         let id = *self.states[uid].lanes[&tag]
@@ -694,6 +697,7 @@ impl FairShareQueue {
     /// (FIFO on ties), releasing its in-flight slot. Holds on the device
     /// are not candidates.
     pub fn pop_for_device(&mut self, device: usize) -> Option<QueuedRequest> {
+        let _prof = qoncord_prof::span("fairshare::pop");
         self.ensure_fresh();
         let (_, &uid) = self.ready_by_device.get(&device)?.first_key_value()?;
         let id = *self.states[uid].lanes[&Tag::Device(device)]
@@ -708,6 +712,7 @@ impl FairShareQueue {
     /// Dequeues the request with id `id`, releasing its in-flight slot.
     /// Returns `None` when no such request is queued.
     pub fn pop_by_id(&mut self, id: usize) -> Option<QueuedRequest> {
+        let _prof = qoncord_prof::span("fairshare::pop");
         let request = self.remove_request(id)?;
         self.stats.pops += 1;
         Some(request)
@@ -952,6 +957,7 @@ impl FairShareQueue {
             decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
             "decay factor must lie in [0, 1], got {decay_factor}"
         );
+        let _prof = qoncord_prof::span("fairshare::projection");
         let mut users = self.projection_users();
         for user in &mut users {
             user.consumed *= decay_factor;
@@ -996,6 +1002,7 @@ impl FairShareQueue {
             probe.requested_seconds.is_finite() && probe.submitted_at.is_finite(),
             "probe fields must be finite"
         );
+        let _prof = qoncord_prof::span("fairshare::projection");
         let mut users = self.projection_users();
         let probe_uid = match self.users.get(&probe.user) {
             Some(&uid) => uid,

@@ -24,6 +24,9 @@
 //!   multi-tenant orchestrator schedules as device reservations.
 //! - [`scheduler`] — the ladder orchestration (Fig. 7) and single-device
 //!   baselines.
+//! - [`prof`] — wall-clock span profiling (re-export of `qoncord-prof`):
+//!   install a [`prof::Profiler`] and every instrumented kernel from the
+//!   simulator up through the orchestrator attributes its real CPU cost.
 //!
 //! ## Example
 //!
@@ -53,6 +56,16 @@ pub mod executor;
 pub mod phase;
 pub mod scheduler;
 pub mod timeline;
+
+/// Wall-clock span profiling, shared by every layer of the workspace.
+///
+/// This is the canonical path to the profiler (`core::prof`); the
+/// implementation lives in the dependency-free `qoncord-prof` crate so the
+/// simulator, transpiler, and queue crates below `qoncord-core` can carry
+/// spans too.
+pub mod prof {
+    pub use qoncord_prof::*;
+}
 
 pub use cluster::{kmeans_1d, select_restarts, Clustering, SelectionPolicy};
 pub use convergence::{ConvergenceChecker, ConvergenceConfig, ConvergenceStatus};

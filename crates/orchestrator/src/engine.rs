@@ -450,6 +450,7 @@ impl<'a> Sim<'a> {
     }
 
     fn run_loop(&mut self) {
+        let _prof = qoncord_prof::span("engine::run");
         while let Some((t, event)) = self.events.pop() {
             self.apply_decay(t);
             match event {
@@ -516,6 +517,7 @@ impl<'a> Sim<'a> {
     }
 
     fn admit(&mut self, job: usize, now: f64) {
+        let _prof = qoncord_prof::span("engine::admit");
         let spec = &self.jobs[job];
         self.tracer.emit(
             now,
@@ -596,6 +598,7 @@ impl<'a> Sim<'a> {
                 }
             })
             .collect();
+        let assess_prof = qoncord_prof::span("engine::assess");
         let estimate = if self.config.admission.decay_aware {
             self.estimate_decay_aware(job, &priced, &secs, ladder_entry, now)
         } else {
@@ -619,6 +622,7 @@ impl<'a> Sim<'a> {
             estimate,
             margin,
         );
+        drop(assess_prof);
         self.tracer.emit(
             now,
             TraceEvent::AdmissionVerdict {
@@ -834,6 +838,7 @@ impl<'a> Sim<'a> {
     /// churn, and a queued urgent request must never wait out a lease it is
     /// entitled to evict.
     fn try_dispatch(&mut self, device: usize, now: f64) {
+        let _prof = qoncord_prof::span("engine::dispatch");
         if self.leases.active(device).is_some() {
             return;
         }
@@ -1060,6 +1065,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_lease_done(&mut self, device: usize, lease: u64, now: f64) {
+        let _prof = qoncord_prof::span("engine::lease_done");
         // Expiry of an evicted lease: the device moved on, nothing to do.
         let Some(lease) = self.leases.complete(device, lease) else {
             self.tracer
@@ -1240,6 +1246,9 @@ impl<'a> Sim<'a> {
             queue_ops: self.queue.stats(),
             calibration: self.margins.into_history(),
             trace: self.tracer.into_summary(),
+            // Snapshot of whatever profiler the caller installed on this
+            // thread; empty (and free) on unprofiled runs.
+            perf: qoncord_prof::current_report(),
         }
     }
 }

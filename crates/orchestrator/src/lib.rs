@@ -130,8 +130,9 @@ pub use telemetry::{
     TenantSla, TenantUsage,
 };
 pub use trace::{
-    JsonlSink, LogHistogram, MemorySink, MetricsSink, NoopSink, RingBufferSink, TraceEvent,
-    TraceHandle, TraceRecord, TraceSink, TraceSummary,
+    chrome_export, chrome_export_with_profile, validate_chrome_trace, JsonlSink, LogHistogram,
+    MemorySink, MetricsSink, NoopSink, RingBufferSink, TraceEvent, TraceHandle, TraceRecord,
+    TraceSink, TraceSummary, CHROME_FLEET_PID, CHROME_JOBS_PID, CHROME_PROF_PID,
 };
 
 #[cfg(test)]

@@ -309,6 +309,13 @@ pub struct OrchestratorReport {
     /// timelines — populated whether or not a
     /// [`TraceSink`](crate::trace::TraceSink) was attached.
     pub trace: crate::trace::TraceSummary,
+    /// Wall-clock cost attribution of the run: a snapshot of the
+    /// [`Profiler`](qoncord_prof::Profiler) installed on the running thread
+    /// (empty when none was), with folded span paths from the engine event
+    /// loop down through queue ops, transpilation, and sim kernels. Export
+    /// with [`qoncord_prof::folded_export`] or merge into the Perfetto
+    /// timeline via [`chrome_export_with_profile`](crate::trace::chrome_export_with_profile).
+    pub perf: qoncord_prof::ProfileReport,
 }
 
 impl OrchestratorReport {
@@ -541,6 +548,7 @@ mod tests {
             queue_ops: qoncord_cloud::fairshare::QueueOpStats::default(),
             calibration: Vec::new(),
             trace: crate::trace::TraceSummary::default(),
+            perf: qoncord_prof::ProfileReport::default(),
         };
         assert_eq!(report.tenant_balance("a"), 13.0);
         assert_eq!(report.tenant_balance("zzz"), 0.0);
@@ -568,6 +576,7 @@ mod tests {
             queue_ops: qoncord_cloud::fairshare::QueueOpStats::default(),
             calibration: Vec::new(),
             trace: crate::trace::TraceSummary::default(),
+            perf: qoncord_prof::ProfileReport::default(),
         };
         assert_eq!(empty.speedup_vs_sequential(), 1.0);
         assert_eq!(empty.mean_wait(), 0.0);

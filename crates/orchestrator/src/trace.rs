@@ -932,6 +932,28 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// Folds every sample of `other` into `self`, bucket by bucket.
+    ///
+    /// Counts use saturating arithmetic so pooling many long-running
+    /// histograms can never wrap; the sum accumulates in `f64` (which
+    /// saturates to infinity by construction). Min/max take the pooled
+    /// extremes, and merging an empty histogram is a no-op. Used by the
+    /// `kernel_profile` bench to pool per-repetition span timings into
+    /// one distribution per sweep point.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+
     /// The non-empty buckets as `(lower bound, upper bound, count)`; the
     /// underflow bucket reports as `(0.0, 2^-30, count)`.
     pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
@@ -1289,6 +1311,10 @@ impl TraceSink for MetricsSink {
 pub const CHROME_FLEET_PID: u64 = 1;
 /// Process id of the jobs-by-tenant track group.
 pub const CHROME_JOBS_PID: u64 = 2;
+/// Process id of the wall-clock profiler track group emitted by
+/// [`chrome_export_with_profile`]. Unlike the virtual-time tracks above,
+/// its timestamps are real microseconds since the profiler was created.
+pub const CHROME_PROF_PID: u64 = 3;
 
 /// Renders a captured run as Chrome trace-event JSON, openable directly in
 /// `ui.perfetto.dev` (or `chrome://tracing`).
@@ -1305,6 +1331,33 @@ pub const CHROME_JOBS_PID: u64 = 2;
 ///
 /// Timestamps are microseconds of virtual time.
 pub fn chrome_export(records: &[TraceRecord]) -> String {
+    chrome_export_impl(records, None)
+}
+
+/// Like [`chrome_export`], plus a third **wall-clock profiler** track
+/// group ([`CHROME_PROF_PID`]) carrying one duration slice per retained
+/// [`ProfileSpan`](qoncord_prof::ProfileSpan) of `perf` — typically the
+/// [`OrchestratorReport::perf`](crate::telemetry::OrchestratorReport::perf)
+/// snapshot of the same run whose `records` are being exported.
+///
+/// Slices are named by their leaf span label and carry the full folded
+/// path in `args.path`, so hovering a `sim::sv::apply_2q` slice shows the
+/// `engine::run;engine::lease_done;…` chain it was reached through. The
+/// profiler track's timestamps are real microseconds since the profiler
+/// epoch, while the fleet and jobs tracks remain virtual time; Perfetto
+/// renders the groups side by side, which is exactly the point — virtual
+/// schedule above, real CPU cost below.
+pub fn chrome_export_with_profile(
+    records: &[TraceRecord],
+    perf: &qoncord_prof::ProfileReport,
+) -> String {
+    chrome_export_impl(records, Some(perf))
+}
+
+fn chrome_export_impl(
+    records: &[TraceRecord],
+    profile: Option<&qoncord_prof::ProfileReport>,
+) -> String {
     let us = |t: f64| t * 1e6;
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
@@ -1342,6 +1395,24 @@ pub fn chrome_export(records: &[TraceRecord]) -> String {
         "process_name",
         "jobs by tenant",
     );
+    if profile.is_some() {
+        meta(
+            &mut out,
+            &mut line,
+            CHROME_PROF_PID,
+            0,
+            "process_name",
+            "wall-clock profiler",
+        );
+        meta(
+            &mut out,
+            &mut line,
+            CHROME_PROF_PID,
+            0,
+            "thread_name",
+            "profiled thread",
+        );
+    }
 
     // Job identity (tenant, submitted id) from the arrival events, and
     // queue depth recomputed from the reservation lifecycle.
@@ -1496,6 +1567,32 @@ pub fn chrome_export(records: &[TraceRecord]) -> String {
             _ => {}
         }
     }
+    if let Some(perf) = profile {
+        for span in &perf.spans {
+            let entry = &perf.entries[span.entry];
+            line.clear();
+            let _ = write!(
+                line,
+                "{{\"ph\":\"X\",\"pid\":{CHROME_PROF_PID},\"tid\":0,\"ts\":{},\"dur\":{},\"cat\":\"prof\",\"name\":",
+                span.start_ns as f64 / 1e3,
+                span.dur_ns as f64 / 1e3
+            );
+            push_json_string(entry.label(), &mut line);
+            line.push_str(",\"args\":{\"path\":");
+            push_json_string(&entry.folded_path(), &mut line);
+            line.push_str("}}");
+            push(&mut out, &line);
+        }
+        if perf.dropped_spans > 0 {
+            line.clear();
+            let _ = write!(
+                line,
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{CHROME_PROF_PID},\"tid\":0,\"ts\":0,\"name\":\"{} spans dropped past the retention cap\"}}",
+                perf.dropped_spans
+            );
+            push(&mut out, &line);
+        }
+    }
     out.push_str("\n]}\n");
     out
 }
@@ -1604,21 +1701,32 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
     })
 }
 
-/// A minimal recursive-descent JSON reader, enough to validate the traces
-/// this module emits (the workspace deliberately has no serde).
-mod json {
+/// A minimal recursive-descent JSON reader, enough to validate the JSON
+/// this workspace emits (which deliberately has no serde): Chrome traces
+/// here, and the `BENCH_*.json` artifacts via
+/// `qoncord_bench::require_keys`. It is a *reader*, not a general JSON
+/// library — object keys stay in document order and numbers are `f64`.
+pub mod json {
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
+        /// `null`.
         Null,
+        /// `true` or `false`.
         Bool(bool),
+        /// Any number; JSON does not distinguish integers from floats.
         Number(f64),
+        /// A string, with escapes decoded.
         String(String),
+        /// An array of values.
         Array(Vec<Value>),
+        /// An object as `(key, value)` pairs in document order
+        /// (duplicate keys are kept, callers take the first match).
         Object(Vec<(String, Value)>),
     }
 
     impl Value {
+        /// The object's fields, or `None` for non-objects.
         pub fn as_object(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Object(fields) => Some(fields),
@@ -1626,6 +1734,7 @@ mod json {
             }
         }
 
+        /// The array's items, or `None` for non-arrays.
         pub fn as_array(&self) -> Option<&[Value]> {
             match self {
                 Value::Array(items) => Some(items),
@@ -1633,6 +1742,7 @@ mod json {
             }
         }
 
+        /// The string's contents, or `None` for non-strings.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::String(s) => Some(s),
@@ -1640,6 +1750,7 @@ mod json {
             }
         }
 
+        /// The number, or `None` for non-numbers.
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Value::Number(n) => Some(*n),
@@ -1647,6 +1758,8 @@ mod json {
             }
         }
 
+        /// The number as an unsigned integer, `None` unless it is a
+        /// non-negative whole number (or for non-numbers).
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
@@ -1655,6 +1768,12 @@ mod json {
         }
     }
 
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset description of the first syntax error, or of
+    /// trailing non-whitespace after the document.
     pub fn parse(input: &str) -> Result<Value, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
@@ -2206,6 +2325,53 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_equals_recording_the_union() {
+        let samples_a = [0.0, 0.5, 2.0, 1e12];
+        let samples_b = [0.25, 3.0, 7.0];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut union = LogHistogram::new();
+        for v in samples_a {
+            a.record(v);
+            union.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "merge is indistinguishable from pooled records");
+        // Merging an empty histogram changes nothing, in either direction.
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(1.0);
+        b.record(1.0);
+        // Forge near-overflow counters the way a pathological pooled run
+        // would accumulate them; the merge must clamp, not wrap.
+        a.count = u64::MAX - 1;
+        a.underflow = u64::MAX - 1;
+        a.counts[31] = u64::MAX - 1;
+        b.count = 5;
+        b.underflow = 5;
+        b.counts[31] = 5;
+        a.merge(&b);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.underflow, u64::MAX);
+        assert_eq!(a.counts[31], u64::MAX);
+        assert!(a.mean().is_finite());
+    }
+
+    #[test]
     fn ring_buffer_drops_oldest_first_and_keeps_the_tail_intact() {
         let mut sink = RingBufferSink::with_capacity(3);
         for seq in 0..10u64 {
@@ -2392,6 +2558,52 @@ mod tests {
         assert!(jobs
             .iter()
             .any(|t| t.name.as_deref() == Some("alice · job 7") && t.duration_events == 1));
+    }
+
+    #[test]
+    fn chrome_export_with_profile_adds_a_validated_wall_clock_track() {
+        let records = vec![
+            record(
+                0,
+                0.0,
+                TraceEvent::Arrival {
+                    job: 0,
+                    id: 1,
+                    tenant: "alice".into(),
+                    priority: 0,
+                },
+            ),
+            record(1, 2.0, TraceEvent::JobComplete { job: 0 }),
+        ];
+        let profiler = qoncord_prof::Profiler::new();
+        {
+            let _installed = profiler.install();
+            let _outer = qoncord_prof::span("outer");
+            let _inner = qoncord_prof::span("inner");
+        }
+        let perf = profiler.report();
+        assert_eq!(perf.spans.len(), 2);
+        let chrome = chrome_export_with_profile(&records, &perf);
+        let summary = validate_chrome_trace(&chrome).expect("merged export parses");
+        let prof_tracks = summary.tracks_of(CHROME_PROF_PID);
+        assert_eq!(prof_tracks.len(), 1);
+        assert_eq!(prof_tracks[0].duration_events, 2);
+        assert!(
+            chrome.contains("\"path\":\"outer;inner\""),
+            "slices carry their folded path"
+        );
+        assert!(
+            chrome.contains("wall-clock profiler"),
+            "the track group is named"
+        );
+        // The virtual-time tracks are untouched by the merge.
+        assert!(summary
+            .tracks_of(CHROME_JOBS_PID)
+            .iter()
+            .any(|t| t.duration_events == 1));
+        // Without a profile the track group must not exist at all.
+        let plain = validate_chrome_trace(&chrome_export(&records)).expect("plain export parses");
+        assert!(plain.tracks_of(CHROME_PROF_PID).is_empty());
     }
 
     #[test]

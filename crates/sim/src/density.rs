@@ -111,6 +111,7 @@ impl DensityMatrix {
     /// Panics if `q` is out of range.
     pub fn apply_1q(&mut self, u: &Mat2, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
+        let _prof = qoncord_prof::span("sim::dm::apply_1q");
         let bit = 1usize << q;
         let dim = self.dim;
         // Left-multiply by U on the row index.
@@ -153,6 +154,7 @@ impl DensityMatrix {
             q0 < self.n_qubits && q1 < self.n_qubits,
             "qubit out of range"
         );
+        let _prof = qoncord_prof::span("sim::dm::apply_2q");
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let dim = self.dim;
@@ -206,6 +208,7 @@ impl DensityMatrix {
             qubits.len(),
             "channel arity does not match qubit list"
         );
+        let _prof = qoncord_prof::span("sim::dm::channel");
         let kraus = channel.kraus_operators();
         let mut acc = vec![C64::ZERO; self.data.len()];
         for k in &kraus {

@@ -82,6 +82,7 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_1q(&mut self, u: &Mat2, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
+        let _prof = qoncord_prof::span("sim::sv::apply_1q");
         let stride = 1 << q;
         let len = self.amps.len();
         let mut base = 0;
@@ -110,6 +111,7 @@ impl StateVector {
             q0 < self.n_qubits && q1 < self.n_qubits,
             "qubit out of range"
         );
+        let _prof = qoncord_prof::span("sim::sv::apply_2q");
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let len = self.amps.len();
@@ -142,6 +144,7 @@ impl StateVector {
     pub fn apply_cx_fast(&mut self, c: usize, t: usize) {
         assert!(c != t, "CNOT needs distinct qubits");
         assert!(c < self.n_qubits && t < self.n_qubits, "qubit out of range");
+        let _prof = qoncord_prof::span("sim::sv::apply_cx");
         let cb = 1usize << c;
         let tb = 1usize << t;
         for i in 0..self.amps.len() {
@@ -159,6 +162,7 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_rz_fast(&mut self, theta: f64, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
+        let _prof = qoncord_prof::span("sim::sv::apply_rz");
         let bit = 1usize << q;
         let lo = C64::cis(-theta / 2.0);
         let hi = C64::cis(theta / 2.0);

@@ -134,6 +134,7 @@ impl CostEvaluator for QaoaEvaluator {
     }
 
     fn evaluate(&mut self, params: &[f64]) -> Evaluation {
+        let _prof = qoncord_prof::span("vqa::eval::qaoa");
         self.executions += 1;
         self.seed = self.seed.wrapping_add(1);
         let mut dist = self.backend.run(&self.transpiled, params, self.seed);
@@ -240,6 +241,7 @@ impl CostEvaluator for VqeEvaluator {
     }
 
     fn evaluate(&mut self, params: &[f64]) -> Evaluation {
+        let _prof = qoncord_prof::span("vqa::eval::vqe");
         let mut energy = self.offset;
         let mut entropy_sum = 0.0;
         let mut first_dist: Option<ProbDist> = None;

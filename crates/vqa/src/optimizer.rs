@@ -114,6 +114,7 @@ impl Optimizer for Spsa {
         objective: &mut dyn FnMut(&[f64]) -> f64,
         rng: &mut StdRng,
     ) -> StepOutcome {
+        let _prof = qoncord_prof::span("vqa::spsa_step");
         let k = self.k as f64;
         let cfg = &self.config;
         let ak = cfg.a / (k + 1.0 + cfg.big_a).powf(cfg.alpha);

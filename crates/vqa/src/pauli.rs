@@ -183,6 +183,7 @@ impl PauliString {
     /// rotation from [`PauliString::measurement_rotation`].
     pub fn expectation_from_dist(&self, dist: &ProbDist) -> f64 {
         assert_eq!(dist.n_qubits(), self.n_qubits());
+        let _prof = qoncord_prof::span("vqa::pauli::expectation_dist");
         dist.expectation_fn(|z| self.eigenvalue(z))
     }
 
@@ -267,6 +268,7 @@ impl PauliSum {
     /// Greedy partition into qubit-wise commuting groups; each group can be
     /// measured with a single basis rotation.
     pub fn qubit_wise_commuting_groups(&self) -> Vec<Vec<usize>> {
+        let _prof = qoncord_prof::span("vqa::pauli::qwc_groups");
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, (_, p)) in self.terms.iter().enumerate() {
             if p.is_identity() {
@@ -341,6 +343,7 @@ impl PauliSum {
 
     /// Exact expectation `⟨ψ|H|ψ⟩` for a pure state.
     pub fn expectation_statevector(&self, sv: &qoncord_sim::statevector::StateVector) -> f64 {
+        let _prof = qoncord_prof::span("vqa::pauli::expectation_sv");
         let hv = self.matrix().mul_vec(sv.amplitudes());
         sv.amplitudes()
             .iter()

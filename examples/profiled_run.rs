@@ -1,0 +1,138 @@
+//! Domain example: wall-clock profiling — install a [`Profiler`] around a
+//! full orchestrator run, then consume the cost attribution three ways:
+//! print the folded per-span table (self-time, counts), write the
+//! flamegraph-ready folded-stack text to `target/profiled_run.folded`, and
+//! merge the wall-clock spans into the flight recorder's Perfetto timeline
+//! at `target/profiled_run_trace.json`.
+//!
+//! Open the trace at <https://ui.perfetto.dev>: the familiar virtual-time
+//! tracks (fleet devices, jobs by tenant) render above a third
+//! "wall-clock profiler" track showing where the real CPU time went —
+//! engine event loop down through queue ops, transpilation, and the sim
+//! kernels. Or render a flamegraph from the folded file with
+//! `flamegraph.pl target/profiled_run.folded > profile.svg`.
+//!
+//! Run with: `cargo run --release --example profiled_run`
+
+use qoncord::core::executor::QaoaFactory;
+use qoncord::core::prof::{folded_export, Profiler};
+use qoncord::core::scheduler::QoncordConfig;
+use qoncord::orchestrator::trace::{self, MemorySink, TraceHandle, CHROME_PROF_PID};
+use qoncord::orchestrator::{
+    two_lf_one_hf_fleet, DeadlineClass, Orchestrator, OrchestratorConfig, PreemptionConfig,
+    TenantJob,
+};
+use qoncord::vqa::{graph::Graph, maxcut::MaxCut};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn jobs() -> Vec<TenantJob> {
+    (0..5)
+        .map(|i| {
+            let factory = QaoaFactory {
+                problem: MaxCut::new(Graph::paper_graph_7()),
+                layers: 1,
+            };
+            let config = QoncordConfig {
+                exploration_max_iterations: 8,
+                finetune_max_iterations: 10,
+                seed: 7 + i as u64,
+                ..QoncordConfig::default()
+            };
+            if i == 4 {
+                TenantJob::new(i, "urgent", 1.0, Box::new(factory))
+                    .with_restarts(2)
+                    .with_priority(3)
+                    .with_deadline_class(DeadlineClass::Interactive)
+                    .with_config(config)
+            } else {
+                TenantJob::new(i, format!("batch-{i}"), 0.0, Box::new(factory))
+                    .with_restarts(3)
+                    .with_config(config)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    // The profiler is installed by the caller, not configured on the
+    // engine: the engine snapshots whatever is installed on its thread
+    // into `report.perf`, and records nothing (at near-zero cost) when
+    // nothing is.
+    let profiler = Profiler::new();
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let report = {
+        let _installed = profiler.install();
+        Orchestrator::new(
+            OrchestratorConfig {
+                preemption: PreemptionConfig::enabled(),
+                trace: TraceHandle::to(sink.clone()),
+                ..OrchestratorConfig::default()
+            },
+            two_lf_one_hf_fleet(),
+        )
+        .run(&jobs())
+    };
+    let records = sink.borrow().records().to_vec();
+    let perf = &report.perf;
+    assert!(!perf.is_empty(), "a profiled run must attribute spans");
+
+    // Consumer 1: the per-path attribution table, heaviest self-time first.
+    println!(
+        "wall-clock attribution over {:.2}s of virtual time ({} spans, {} paths):\n",
+        report.makespan(),
+        perf.total_spans(),
+        perf.entries.len()
+    );
+    let mut by_self: Vec<_> = perf.entries.iter().collect();
+    by_self.sort_by_key(|e| std::cmp::Reverse(e.self_ns()));
+    println!(
+        "  {:<44} {:>8} {:>12} {:>12}",
+        "span path", "count", "self (ms)", "total (ms)"
+    );
+    for entry in by_self.iter().take(12) {
+        println!(
+            "  {:<44} {:>8} {:>12.3} {:>12.3}",
+            entry.folded_path(),
+            entry.count,
+            entry.self_ns() as f64 / 1e6,
+            entry.total_ns as f64 / 1e6,
+        );
+    }
+
+    // Consumer 2: flamegraph-ready folded stacks.
+    let folded = folded_export(perf);
+    assert!(!folded.is_empty(), "folded export must not be empty");
+    std::fs::create_dir_all("target").expect("create target dir");
+    let folded_path = std::path::Path::new("target").join("profiled_run.folded");
+    std::fs::write(&folded_path, &folded).expect("write folded stacks");
+    println!(
+        "\nfolded stacks: wrote {} ({} lines) — flamegraph.pl renders it directly",
+        folded_path.display(),
+        folded.lines().count()
+    );
+
+    // Consumer 3: the merged Perfetto timeline — virtual-time schedule
+    // tracks plus the wall-clock profiler track, one validated file.
+    let chrome = trace::chrome_export_with_profile(&records, perf);
+    let summary = trace::validate_chrome_trace(&chrome).expect("merged export must validate");
+    let prof_tracks = summary.tracks_of(CHROME_PROF_PID);
+    assert!(
+        prof_tracks.iter().any(|t| t.duration_events > 0),
+        "the profiler track must carry duration slices"
+    );
+    let trace_path = std::path::Path::new("target").join("profiled_run_trace.json");
+    std::fs::write(&trace_path, &chrome).expect("write trace file");
+    println!(
+        "perfetto: wrote {} ({} events, {} profiler slices) — open at ui.perfetto.dev",
+        trace_path.display(),
+        summary.total_events,
+        prof_tracks.iter().map(|t| t.duration_events).sum::<usize>(),
+    );
+    if perf.dropped_spans > 0 {
+        println!(
+            "(note: {} spans past the retention cap kept aggregate stats only)",
+            perf.dropped_spans
+        );
+    }
+}
