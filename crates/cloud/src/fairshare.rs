@@ -240,6 +240,132 @@ struct StoredRequest {
     seq: u64,
 }
 
+/// Blocked order-statistics index over the posted ready-set: an ordered
+/// sequence of ~√n-sized chunks, each carrying subtree aggregates (entry
+/// count via `Vec::len`, sum of posted `requested_seconds`) so rank
+/// queries — "how many posted lane-bests outrank this key, and how many
+/// requested seconds do they hold?" — answer in O(√n) chunk hops without
+/// touching individual entries, while insert/remove stay an O(log n)
+/// search plus one small memmove.
+#[derive(Debug, Clone, Default)]
+struct RankedReady {
+    chunks: Vec<ReadyChunk>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReadyChunk {
+    /// `(posted key, (uid, lane tag), posted best's requested_seconds)` in
+    /// ascending key order.
+    entries: Vec<(CrossKey, (usize, Tag), f64)>,
+    /// Exact sum of `entries`' seconds, recomputed on every mutation so a
+    /// remove can never drift the aggregate numerically.
+    seconds: f64,
+}
+
+impl ReadyChunk {
+    fn refresh(&mut self) {
+        self.seconds = self.entries.iter().map(|e| e.2).sum();
+    }
+}
+
+impl RankedReady {
+    /// Chunk size tracks √n so both the chunk-list walk and the single
+    /// partial-chunk scan of a rank query stay O(√n).
+    fn target_chunk(len: usize) -> usize {
+        ((len as f64).sqrt() as usize).clamp(16, 4096)
+    }
+
+    /// Index of the chunk that contains (or would contain) `key`.
+    fn chunk_of(&self, key: &CrossKey) -> usize {
+        self.chunks
+            .partition_point(|c| c.entries.last().is_some_and(|e| e.0 < *key))
+    }
+
+    fn insert(&mut self, key: CrossKey, value: (usize, Tag), seconds: f64) {
+        self.len += 1;
+        if self.chunks.is_empty() {
+            self.chunks.push(ReadyChunk {
+                entries: vec![(key, value, seconds)],
+                seconds,
+            });
+            return;
+        }
+        let idx = self.chunk_of(&key).min(self.chunks.len() - 1);
+        let chunk = &mut self.chunks[idx];
+        let at = chunk.entries.partition_point(|e| e.0 < key);
+        chunk.entries.insert(at, (key, value, seconds));
+        if chunk.entries.len() > 2 * Self::target_chunk(self.len) {
+            let tail = chunk.entries.split_off(chunk.entries.len() / 2);
+            chunk.refresh();
+            let mut split = ReadyChunk {
+                entries: tail,
+                seconds: 0.0,
+            };
+            split.refresh();
+            self.chunks.insert(idx + 1, split);
+        } else {
+            chunk.refresh();
+        }
+    }
+
+    fn remove(&mut self, key: &CrossKey) -> bool {
+        let idx = self.chunk_of(key);
+        let Some(chunk) = self.chunks.get_mut(idx) else {
+            return false;
+        };
+        let at = chunk.entries.partition_point(|e| e.0 < *key);
+        if chunk.entries.get(at).map(|e| e.0) != Some(*key) {
+            return false;
+        }
+        chunk.entries.remove(at);
+        self.len -= 1;
+        if chunk.entries.is_empty() {
+            self.chunks.remove(idx);
+        } else {
+            chunk.refresh();
+        }
+        true
+    }
+
+    /// The lowest-keyed posted entry.
+    fn first(&self) -> Option<&(CrossKey, (usize, Tag), f64)> {
+        self.chunks.first().and_then(|c| c.entries.first())
+    }
+
+    /// All posted entries in ascending key order.
+    fn iter(&self) -> impl Iterator<Item = &(CrossKey, (usize, Tag), f64)> {
+        self.chunks.iter().flat_map(|c| c.entries.iter())
+    }
+
+    /// Posted entries strictly below `key`, in ascending key order.
+    fn below<'a>(
+        &'a self,
+        key: &'a CrossKey,
+    ) -> impl Iterator<Item = &'a (CrossKey, (usize, Tag), f64)> + 'a {
+        self.iter().take_while(move |e| e.0 < *key)
+    }
+
+    /// Rank query: `(count, total requested_seconds)` of posted entries
+    /// strictly below `key`, answered from chunk aggregates in O(√n).
+    fn rank_below(&self, key: &CrossKey) -> (usize, f64) {
+        let mut count = 0usize;
+        let mut seconds = 0.0f64;
+        for chunk in &self.chunks {
+            if chunk.entries.last().is_some_and(|e| e.0 < *key) {
+                count += chunk.entries.len();
+                seconds += chunk.seconds;
+            } else {
+                let at = chunk.entries.partition_point(|e| e.0 < *key);
+                count += at;
+                seconds += chunk.entries[..at].iter().map(|e| e.2).sum::<f64>();
+                break;
+            }
+        }
+        (count, seconds)
+    }
+}
+
 /// One tenant's ordered bucket of requests sharing a placement tag, plus
 /// the cross-tenant key its best member is currently posted under.
 #[derive(Debug, Clone, Default)]
@@ -279,8 +405,9 @@ pub struct FairShareQueue {
     states: Vec<UserState>,
     /// Request id → stored request + index coordinates.
     entries: HashMap<usize, StoredRequest>,
-    /// Cross-tenant score index over every lane's best request.
-    ready_all: BTreeMap<CrossKey, (usize, Tag)>,
+    /// Cross-tenant score index over every lane's best request, with
+    /// order-statistics chunk aggregates for rank queries.
+    ready_all: RankedReady,
     /// Per-device score index over `Tag::Device` lane bests only.
     ready_by_device: HashMap<usize, BTreeMap<CrossKey, usize>>,
     /// Insertion-order view (seq → id) over every pending request.
@@ -401,8 +528,9 @@ impl FairShareQueue {
             return;
         };
         let entry = &self.entries[&id];
+        let seconds = entry.request.requested_seconds;
         let key = CrossKey {
-            score: Key::new(self.score_of(self.states[uid].usage, entry.request.requested_seconds)),
+            score: Key::new(self.score_of(self.states[uid].usage, seconds)),
             submitted: Key::new(entry.request.submitted_at),
             seq: entry.seq,
         };
@@ -411,7 +539,7 @@ impl FairShareQueue {
             .get_mut(&tag)
             .expect("lane exists")
             .posted = Some(key);
-        self.ready_all.insert(key, (uid, tag));
+        self.ready_all.insert(key, (uid, tag), seconds);
         if let Tag::Device(d) = tag {
             self.ready_by_device.entry(d).or_default().insert(key, uid);
         }
@@ -683,7 +811,7 @@ impl FairShareQueue {
     pub fn pop(&mut self) -> Option<QueuedRequest> {
         let _prof = qoncord_prof::span("fairshare::pop");
         self.ensure_fresh();
-        let (_, &(uid, tag)) = self.ready_all.first_key_value()?;
+        let &(_, (uid, tag), _) = self.ready_all.first()?;
         let id = *self.states[uid].lanes[&tag]
             .requests
             .first_key_value()
@@ -738,7 +866,7 @@ impl FairShareQueue {
     pub fn pop_where(&mut self, pred: impl Fn(&QueuedRequest) -> bool) -> Option<QueuedRequest> {
         self.ensure_fresh();
         let mut frontier = BinaryHeap::new();
-        for (&key, &(uid, tag)) in &self.ready_all {
+        for &(key, (uid, tag), _) in self.ready_all.iter() {
             let (&req_key, &id) = self.states[uid].lanes[&tag]
                 .requests
                 .first_key_value()
@@ -873,23 +1001,31 @@ struct ProjectedUser {
 }
 
 impl FairShareQueue {
+    /// Collects `uid`'s pending requests into `buf` in within-tenant drain
+    /// order — `(order key, id, requested_seconds, charged device)` merged
+    /// across lanes and sorted by the decay-invariant key. Shared by the
+    /// replay snapshot and the rank-query walk so both see the identical
+    /// sequence.
+    fn tenant_requests_into(&self, uid: usize, buf: &mut Vec<(ReqKey, usize, f64, Option<usize>)>) {
+        buf.clear();
+        buf.extend(self.states[uid].lanes.iter().flat_map(|(tag, lane)| {
+            let device = tag.device();
+            lane.requests.iter().map(move |(&key, &id)| {
+                (key, id, self.entries[&id].request.requested_seconds, device)
+            })
+        }));
+        buf.sort_unstable_by_key(|a| a.0);
+    }
+
     /// Snapshots every tenant for an analytic drain, indexed parallel to
     /// the internal uid space.
     fn projection_users(&self) -> Vec<ProjectedUser> {
         self.states
             .iter()
-            .map(|state| {
-                let mut requests: Vec<(ReqKey, usize, f64, Option<usize>)> = state
-                    .lanes
-                    .iter()
-                    .flat_map(|(tag, lane)| {
-                        let device = tag.device();
-                        lane.requests.iter().map(move |(&key, &id)| {
-                            (key, id, self.entries[&id].request.requested_seconds, device)
-                        })
-                    })
-                    .collect();
-                requests.sort_unstable_by_key(|a| a.0);
+            .enumerate()
+            .map(|(uid, state)| {
+                let mut requests = Vec::new();
+                self.tenant_requests_into(uid, &mut requests);
                 ProjectedUser {
                     consumed: state.usage.consumed_seconds,
                     in_flight: state.usage.jobs_in_flight,
@@ -990,6 +1126,42 @@ impl FairShareQueue {
         decay_factor: f64,
         n_devices: usize,
     ) -> Vec<f64> {
+        self.backlog_ahead_impl(probe, probe_credit, decay_factor, n_devices, None)
+    }
+
+    /// [`projected_backlog_ahead`](Self::projected_backlog_ahead) restricted
+    /// to the devices an admission decision actually prices: only devices
+    /// listed in `devices` accumulate (other slots of the returned vector
+    /// stay `0.0`). Each device's sum is independent of every other
+    /// device's, so the listed slots are bit-identical to the full
+    /// projection's — this is the rank-query entry point
+    /// [`crate::policy::estimate_feasibility_decayed`] rides, avoiding
+    /// accumulation work for the hundreds of fleet devices a placement never
+    /// touches.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as
+    /// [`projected_backlog_ahead`](Self::projected_backlog_ahead).
+    pub fn projected_backlog_for(
+        &self,
+        probe: &QueuedRequest,
+        probe_credit: f64,
+        decay_factor: f64,
+        n_devices: usize,
+        devices: &[usize],
+    ) -> Vec<f64> {
+        self.backlog_ahead_impl(probe, probe_credit, decay_factor, n_devices, Some(devices))
+    }
+
+    fn backlog_ahead_impl(
+        &self,
+        probe: &QueuedRequest,
+        probe_credit: f64,
+        decay_factor: f64,
+        n_devices: usize,
+        only: Option<&[usize]>,
+    ) -> Vec<f64> {
         assert!(
             decay_factor.is_finite() && (0.0..=1.0).contains(&decay_factor),
             "decay factor must lie in [0, 1], got {decay_factor}"
@@ -1003,6 +1175,40 @@ impl FairShareQueue {
             "probe fields must be finite"
         );
         let _prof = qoncord_prof::span("fairshare::projection");
+        let fast = self.backlog_ahead_ranked(probe, probe_credit, decay_factor, n_devices, only);
+        #[cfg(debug_assertions)]
+        {
+            let replay =
+                self.backlog_ahead_replay(probe, probe_credit, decay_factor, n_devices, only);
+            debug_assert!(
+                fast.len() == replay.len()
+                    && fast
+                        .iter()
+                        .zip(&replay)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "rank-query backlog projection diverged from exact replay: \
+                 {fast:?} vs {replay:?}"
+            );
+        }
+        fast
+    }
+
+    /// The exact-replay oracle: heap-replays the whole drain over tenant
+    /// snapshots, exactly as dispatch would pop. Retained as the
+    /// `debug_assert` check on every
+    /// [`backlog_ahead_ranked`](Self::backlog_ahead_ranked) answer (and as
+    /// the reference the equivalence property tests pin against).
+    // Only the debug-assert path calls it, so release builds see it as
+    // dead; it must stay compiled so the oracle can't rot.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn backlog_ahead_replay(
+        &self,
+        probe: &QueuedRequest,
+        probe_credit: f64,
+        decay_factor: f64,
+        n_devices: usize,
+        only: Option<&[usize]>,
+    ) -> Vec<f64> {
         let mut users = self.projection_users();
         let probe_uid = match self.users.get(&probe.user) {
             Some(&uid) => uid,
@@ -1032,12 +1238,180 @@ impl FairShareQueue {
                 return false;
             }
             if let Some(d) = device {
-                if d < n_devices {
+                if d < n_devices && only.is_none_or(|list| list.contains(&d)) {
                     ahead[d] += secs;
                 }
             }
             true
         });
+        ahead
+    }
+
+    /// The rank-query fast path behind
+    /// [`projected_backlog_ahead`](Self::projected_backlog_ahead):
+    /// characterizes the outranking set directly instead of heap-replaying
+    /// the whole drain.
+    ///
+    /// Within one projection every request's effective key is a static
+    /// function of its tenant and within-tenant drain position (balances
+    /// don't move while draining; the in-flight term depends only on how
+    /// many of the tenant's own requests already popped), per-tenant drain
+    /// order is forced, and all keys are globally distinct via `seq`. Under
+    /// those conditions a request at position `k` of tenant `u` pops before
+    /// a request at position `m` of tenant `v` iff `u`'s *prefix-maximum*
+    /// key through `k` is below `v`'s through `m` — so the set that
+    /// dispatches ahead of the probe is exactly: the probe tenant's own
+    /// positions before the probe, plus every other tenant's longest prefix
+    /// whose keys stay below the probe's prefix-maximum key `T`, and the
+    /// global pop order is ascending `(prefix max, position)`.
+    ///
+    /// Candidate tenants come from the order-statistics ready index (posted
+    /// lane-bests below `T`, enumerated in `O(√n + hits)`) when balances
+    /// are fresh and undecayed — a tenant's merged head key is never below
+    /// its lanes' minimum posted key, so no candidate is missed — or from a
+    /// per-tenant O(1) head test otherwise (the prefix maximum is
+    /// nondecreasing, so a tenant whose head clears `T` contributes
+    /// nothing). Each candidate is walked only until its first key at or
+    /// above `T`, and accumulation replays the exact pop order, keeping
+    /// every per-device sum bit-identical to the replay oracle.
+    fn backlog_ahead_ranked(
+        &self,
+        probe: &QueuedRequest,
+        probe_credit: f64,
+        decay_factor: f64,
+        n_devices: usize,
+        only: Option<&[usize]>,
+    ) -> Vec<f64> {
+        let w = self.weights;
+        let score = |consumed: f64, in_flight: u32, secs: f64| -> f64 {
+            w.usage * consumed + w.in_flight * in_flight as f64 + w.request_size * secs
+        };
+        let probe_uid = self.users.get(&probe.user).copied();
+        let (p_consumed0, p_in_flight0) = probe_uid
+            .map(|uid| {
+                let usage = self.states[uid].usage;
+                (usage.consumed_seconds, usage.jobs_in_flight)
+            })
+            .unwrap_or((0.0, 0));
+        // Same op order as the replay: credit, then decay, then the probe's
+        // in-flight bump.
+        let p_consumed = (p_consumed0 - probe_credit) * decay_factor;
+        let p_in_flight = p_in_flight0 + 1;
+
+        let mut buf = Vec::new();
+        if let Some(uid) = probe_uid {
+            self.tenant_requests_into(uid, &mut buf);
+        }
+        let probe_key = self.req_key(probe, self.seq);
+        let at = buf.partition_point(|(key, ..)| *key < probe_key);
+        buf.insert(at, (probe_key, probe.id, probe.requested_seconds, None));
+
+        // Walk the probe tenant's forced prefix through the probe itself:
+        // `t` ends as the probe's prefix-maximum key, and every position
+        // before the probe is unconditionally ahead.
+        let mut ahead_set: Vec<(CrossKey, u32, f64, Option<usize>)> = Vec::new();
+        let mut t: Option<CrossKey> = None;
+        let mut in_flight = p_in_flight;
+        for (k, &(rk, _, secs, device)) in buf[..=at].iter().enumerate() {
+            let key = CrossKey {
+                score: Key::new(score(p_consumed, in_flight, secs)),
+                submitted: rk.submitted,
+                seq: rk.seq,
+            };
+            let m = t.map_or(key, |prev| prev.max(key));
+            t = Some(m);
+            if k < at {
+                ahead_set.push((m, k as u32, secs, device));
+            }
+            in_flight = in_flight.saturating_sub(1);
+        }
+        let t = t.expect("prefix includes the probe");
+
+        let mut candidates: Vec<usize> = Vec::new();
+        if decay_factor == 1.0 && !self.stale {
+            // Fresh, undecayed balances: posted lane-best keys equal the
+            // projection's position-0 keys bit for bit (`consumed * 1.0` is
+            // an identity), so the ready index enumerates candidates.
+            let (hits, _) = self.ready_all.rank_below(&t);
+            if hits > 0 {
+                ahead_set.reserve(hits);
+                candidates.extend(
+                    self.ready_all
+                        .below(&t)
+                        .map(|&(_, (uid, _), _)| uid)
+                        .filter(|&uid| Some(uid) != probe_uid),
+                );
+                candidates.sort_unstable();
+                candidates.dedup();
+            }
+        } else {
+            // Decayed or stale balances shift every posted score, so fall
+            // back to one head test per tenant (min lane head by the
+            // decay-invariant key, scored live).
+            for (uid, state) in self.states.iter().enumerate() {
+                if Some(uid) == probe_uid {
+                    continue;
+                }
+                let mut head: Option<(ReqKey, usize)> = None;
+                for lane in state.lanes.values() {
+                    if let Some((&rk, &id)) = lane.requests.first_key_value() {
+                        if head.is_none_or(|(best, _)| rk < best) {
+                            head = Some((rk, id));
+                        }
+                    }
+                }
+                let Some((rk, id)) = head else { continue };
+                let consumed = state.usage.consumed_seconds * decay_factor;
+                let secs = self.entries[&id].request.requested_seconds;
+                let key = CrossKey {
+                    score: Key::new(score(consumed, state.usage.jobs_in_flight, secs)),
+                    submitted: rk.submitted,
+                    seq: rk.seq,
+                };
+                if key < t {
+                    candidates.push(uid);
+                }
+            }
+        }
+
+        for uid in candidates {
+            let state = &self.states[uid];
+            let consumed = state.usage.consumed_seconds * decay_factor;
+            let mut in_flight = state.usage.jobs_in_flight;
+            self.tenant_requests_into(uid, &mut buf);
+            let mut m: Option<CrossKey> = None;
+            for (k, &(rk, _, secs, device)) in buf.iter().enumerate() {
+                let key = CrossKey {
+                    score: Key::new(score(consumed, in_flight, secs)),
+                    submitted: rk.submitted,
+                    seq: rk.seq,
+                };
+                // The running prefix max below stays under `t` for every
+                // pushed position, so the prefix max first reaches `t`
+                // exactly at the first key at or above it.
+                if key >= t {
+                    break;
+                }
+                let mk = m.map_or(key, |prev| prev.max(key));
+                m = Some(mk);
+                ahead_set.push((mk, k as u32, secs, device));
+                in_flight = in_flight.saturating_sub(1);
+            }
+        }
+
+        // Replay the exact global pop order: ascending prefix-max key, then
+        // within-tenant position (prefix-max keys never tie across tenants,
+        // every key being globally unique via `seq`), so each device's sum
+        // accumulates in the same order the drain would visit it.
+        ahead_set.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut ahead = vec![0.0; n_devices];
+        for (_, _, secs, device) in ahead_set {
+            if let Some(d) = device {
+                if d < n_devices && only.is_none_or(|list| list.contains(&d)) {
+                    ahead[d] += secs;
+                }
+            }
+        }
         ahead
     }
 }

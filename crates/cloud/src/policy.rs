@@ -513,15 +513,25 @@ pub fn estimate_feasibility_decayed(
     now: f64,
     model: QueueModel<'_>,
 ) -> FeasibilityEstimate {
+    // Only the placements' own devices can delay this job, so the
+    // projection is asked for exactly those — the rank-query fast path in
+    // the queue then characterizes the outranking set directly (per-tenant
+    // prefix maxima against the probe's, candidates enumerated off the
+    // order-statistics ready index) instead of heap-replaying the whole
+    // drain per admission decision. The exact replay survives as a
+    // debug-assert oracle inside the queue, and a property test pins the
+    // projection to the cloned-queue pop order bit for bit.
+    let mut wanted: Vec<usize> = placements.iter().map(|p| p.device).collect();
+    wanted.sort_unstable();
+    wanted.dedup();
     let ahead = |factor: f64| -> Vec<f64> {
-        // Rank analytically over the queue's own index snapshots — exactly
-        // the replay the dispatcher's pop loop would perform, but without
-        // cloning and draining the queue per admission decision (the old
-        // implementation's dominant cost). A property test pins this
-        // projection to the cloned-queue pop order bit for bit.
-        model
-            .queue
-            .projected_backlog_ahead(model.probe, model.probe_credit, factor, devices.len())
+        model.queue.projected_backlog_for(
+            model.probe,
+            model.probe_credit,
+            factor,
+            devices.len(),
+            &wanted,
+        )
     };
     let naive = project_placements(placements, devices, seconds_per_circuit, now, &ahead(1.0));
     let factor = model.decay.factor_between(now, now + naive.queue_seconds);

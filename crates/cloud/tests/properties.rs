@@ -522,4 +522,136 @@ proptest! {
         // The projection never mutates the real queue.
         prop_assert_eq!(q.len(), rq.len());
     }
+
+    /// The rank-query projection under *forced full ties*: every tenant
+    /// carries the identical balance, every request the identical size and
+    /// submission time, so the cross-tenant key collapses to
+    /// `(score, submitted_at, seq)` with score and time equal everywhere —
+    /// only the insertion sequence separates requests. Round-robin pushes
+    /// interleave the tenants so ties between tenant heads recur at every
+    /// drain step, and the probe itself ties with the whole field. The
+    /// clone-credit-decay-drain oracle must still agree bit for bit at each
+    /// of the decay factors admission control actually uses (1.0 takes the
+    /// ready-index fast path; the rest take the per-tenant head-test path).
+    /// In debug builds every call additionally cross-checks the ranked
+    /// answer against the exact-replay oracle internally.
+    #[test]
+    fn rank_projection_breaks_full_ties_by_insertion_order(
+        n_users in 1..4usize,
+        per_user in 1..8usize,
+        decay_idx in 0..4usize,
+        balance in 0.0..200.0f64,
+        credit_units in 0..20u32,
+    ) {
+        let factor = [1.0, 0.9, 0.5, 0.0][decay_idx];
+        let credit = credit_units as f64 * 5.0;
+        let n_devices = 3;
+        let mut q = FairShareQueue::new();
+        let mut rq = ReferenceFairShareQueue::new();
+        for user in 0..n_users {
+            q.record_usage(&format!("user-{user}"), balance).unwrap();
+            rq.record_usage(&format!("user-{user}"), balance).unwrap();
+        }
+        let mut id = 0usize;
+        for _round in 0..per_user {
+            for user in 0..n_users {
+                let r = QueuedRequest {
+                    id,
+                    user: format!("user-{user}"),
+                    requested_seconds: 5.0,
+                    submitted_at: 0.0,
+                };
+                q.push_for_device(r.clone(), id % n_devices).unwrap();
+                rq.push(r);
+                id += 1;
+            }
+        }
+        let probe = QueuedRequest {
+            id: usize::MAX,
+            user: "user-0".to_owned(),
+            requested_seconds: 5.0,
+            submitted_at: 0.0,
+        };
+        let ahead = q.projected_backlog_ahead(&probe, credit, factor, n_devices);
+
+        let mut oracle = rq.clone();
+        oracle.credit_usage(&probe.user, credit).unwrap();
+        oracle.decay_usage(factor).unwrap();
+        oracle.push(probe.clone());
+        let mut expect = vec![0.0f64; n_devices];
+        while let Some(r) = oracle.pop() {
+            if r.id == probe.id {
+                break;
+            }
+            expect[r.id % n_devices] += r.requested_seconds;
+        }
+        let ahead_bits: Vec<u64> = ahead.iter().map(|v| v.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(ahead_bits, expect_bits);
+    }
+
+    /// [`FairShareQueue::projected_backlog_for`] restricted to an arbitrary
+    /// device subset (duplicates allowed — membership, not iteration,
+    /// decides accumulation) agrees bitwise with the full projection on
+    /// every listed device and reports exactly `0.0` for every unlisted
+    /// one — the contract that lets admission price only a placement's
+    /// devices without changing a single bit of the answer.
+    #[test]
+    fn filtered_backlog_projection_agrees_with_full(
+        seed_balances in proptest::collection::vec(0.0..300.0f64, 4),
+        requests in proptest::collection::vec((0..4u8, 0..4u8, 0..3u8, 0..4u8), 1..24),
+        subset_mask in 0..16u8,
+        probe_user in 0..4u8,
+        credit_units in 0..20u32,
+        decay_idx in 0..4usize,
+    ) {
+        let factor = [1.0, 0.9, 0.5, 0.0][decay_idx];
+        let credit = credit_units as f64 * 5.0;
+        let n_devices = 4;
+        let mut q = FairShareQueue::new();
+        for (user, balance) in seed_balances.iter().enumerate() {
+            q.record_usage(&format!("user-{user}"), *balance).unwrap();
+        }
+        for (id, &(user, size, kind, dev)) in requests.iter().enumerate() {
+            let r = QueuedRequest {
+                id,
+                user: format!("user-{user}"),
+                requested_seconds: [1.0, 2.0, 5.0, 10.0][size as usize],
+                submitted_at: (id / 3) as f64,
+            };
+            match kind {
+                0 => q.push(r).unwrap(),
+                1 => q.push_for_device(r, dev as usize).unwrap(),
+                _ => q.push_hold(r, dev as usize).unwrap(),
+            }
+        }
+        let probe = QueuedRequest {
+            id: usize::MAX,
+            user: format!("user-{probe_user}"),
+            requested_seconds: 4.0,
+            submitted_at: requests.len() as f64,
+        };
+        let mut devices: Vec<usize> = (0..n_devices)
+            .filter(|d| subset_mask & (1 << d) != 0)
+            .collect();
+        if let Some(&first) = devices.first() {
+            devices.push(first);
+        }
+        let full = q.projected_backlog_ahead(&probe, credit, factor, n_devices);
+        let filtered = q.projected_backlog_for(&probe, credit, factor, n_devices, &devices);
+        prop_assert_eq!(filtered.len(), full.len());
+        for d in 0..n_devices {
+            if devices.contains(&d) {
+                prop_assert_eq!(
+                    filtered[d].to_bits(), full[d].to_bits(),
+                    "device {} listed but differs: {} vs {}", d, filtered[d], full[d]
+                );
+            } else {
+                prop_assert_eq!(
+                    filtered[d].to_bits(), 0.0f64.to_bits(),
+                    "device {} unlisted but nonzero: {}", d, filtered[d]
+                );
+            }
+        }
+    }
 }

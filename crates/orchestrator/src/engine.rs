@@ -59,11 +59,13 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionMode};
 use crate::calibration::{CalibrationConfig, MarginKey, MarginModel, ServiceClass};
-use crate::driver::SelectedDevice;
+use crate::driver::{BatchResult, SelectedDevice};
 use crate::events::{Event, EventQueue};
+use crate::exec::ShardedExecutor;
 use crate::fleet::FleetDevice;
 use crate::job::TenantJob;
 use crate::lease::{LeaseLedger, LeaseTerms, Urgency};
+use crate::shard::ShardTask;
 use crate::split::{self, JobRunner, SplitConfig};
 use crate::telemetry::{
     DeviceTelemetry, FleetTelemetry, JobRecord, JobStatus, JobTelemetry, OrchestratorReport,
@@ -168,6 +170,18 @@ pub struct OrchestratorConfig {
     pub decay: UsageDecayConfig,
     /// Seed of the placement RNG (only randomized policies consume it).
     pub seed: u64,
+    /// Device-group shards of the sharded executor: with `shards > 1` the
+    /// fleet is partitioned into `shards` device groups (device index
+    /// modulo `shards`) and the deferred batch compute of simultaneous
+    /// lease completions is advanced in parallel, one worker thread per
+    /// group, between virtual-time barriers. Every result stream — trace
+    /// events, telemetry, calibration history, tenant usage — is
+    /// byte-identical at any shard count; only wall-clock time changes.
+    /// `1` (the default) keeps the engine single-threaded. The
+    /// `QONCORD_SHARDS` environment variable, when set to a positive
+    /// integer, overrides this field — that is how CI re-runs the whole
+    /// suite multi-sharded without touching test code.
+    pub shards: usize,
     /// Flight-recorder sink (detached by default): every engine decision is
     /// emitted as a [`TraceEvent`] to the attached
     /// [`TraceSink`](crate::trace::TraceSink). Detached or not, the engine
@@ -189,6 +203,7 @@ impl Default for OrchestratorConfig {
             split: SplitConfig::default(),
             decay: UsageDecayConfig::default(),
             seed: 0x09C0,
+            shards: 1,
             trace: TraceHandle::default(),
         }
     }
@@ -273,9 +288,15 @@ impl Orchestrator {
 
     /// Runs `jobs` to completion on the virtual clock and returns the full
     /// report (jobs in submission order).
+    ///
+    /// With [`OrchestratorConfig::shards`] (or its `QONCORD_SHARDS`
+    /// environment override) above one, simultaneous lease completions
+    /// advance in parallel across device-group shards; the report is
+    /// byte-identical to the single-shard run either way.
     pub fn run(&self, jobs: &[TenantJob]) -> OrchestratorReport {
+        let mut exec = ShardedExecutor::new(ShardedExecutor::effective_shards(self.config.shards));
         let mut sim = Sim::new(&self.config, &self.fleet, jobs);
-        sim.run_loop();
+        sim.run_loop(&mut exec);
         sim.into_report()
     }
 }
@@ -309,6 +330,13 @@ enum Reservation {
     Hold,
 }
 
+/// Determinism invariant (audited; keep it that way): the hash-keyed
+/// collections below (`in_flight`, `holds`, `reservations`) are only ever
+/// accessed by key or membership — never iterated in an order that can
+/// reach events, telemetry sums, or trace output. The one iteration,
+/// `resolve_holds`, sorts by restart index first. Anything order-sensitive
+/// must either sort before iterating or use an ordered container; this is
+/// also what makes shard-merge replay in `run_loop` byte-stable.
 struct Sim<'a> {
     config: &'a OrchestratorConfig,
     fleet: &'a [FleetDevice],
@@ -449,15 +477,99 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn run_loop(&mut self) {
+    /// The event loop, barrier by barrier: every iteration drains one
+    /// virtual instant's events, hoists the hoist-safe deferred batch
+    /// compute among them onto the sharded executor (stage A), then
+    /// replays the whole batch sequentially in `(time, seq)` order with
+    /// the precomputed results spliced in (stage B). Stage B is where all
+    /// bookkeeping — queue, ledger, telemetry, trace — happens, on this
+    /// thread, so the result streams cannot depend on the shard count.
+    fn run_loop(&mut self, exec: &mut ShardedExecutor) {
         let _prof = qoncord_prof::span("engine::run");
-        while let Some((t, event)) = self.events.pop() {
+        let mut batch = Vec::new();
+        while let Some(t) = self.events.pop_batch(&mut batch) {
+            // Decay is a function of the clock alone and idempotent within
+            // one instant, so once per barrier equals once per event.
             self.apply_decay(t);
-            match event {
-                Event::Arrival(job) => self.admit(job, t),
-                Event::LeaseDone { device, lease } => self.on_lease_done(device, lease, t),
+            let mut hoisted = self.hoist_batch(&batch, t, exec);
+            for (pos, &event) in batch.iter().enumerate() {
+                match event {
+                    Event::Arrival(job) => self.admit(job, t),
+                    Event::LeaseDone { device, lease } => {
+                        self.on_lease_done(device, lease, t, hoisted[pos].take())
+                    }
+                }
             }
         }
+    }
+
+    /// Stage A of one barrier: runs the deferred batch compute of the
+    /// batch's hoist-safe lease completions on the sharded executor,
+    /// returning each event's precomputed [`BatchResult`] by batch
+    /// position (`None` = not hoisted, stage B computes inline).
+    ///
+    /// An expiry is hoist-safe iff its lease is still the device's active
+    /// lease *and* the job runs as [`JobRunner::Single`]. Why that is
+    /// exactly the sequential result:
+    ///
+    /// - **Its own staleness cannot change inside the barrier.** A lease
+    ///   completes only through its unique `LeaseDone` event, and
+    ///   preemption never recalls a lease at its expiry boundary
+    ///   (`try_preempt` refuses when no occupancy remains to save), so a
+    ///   lease live at the barrier's start is live when its event replays
+    ///   — and a stale one stays stale.
+    /// - **No earlier batch event can touch a `Single` runner.** A
+    ///   `Single` job keeps exactly one batch in the system — while this
+    ///   lease is active it has no queued request to grant (no checkpoint
+    ///   read) and no other expiry to execute, and triage hold releases
+    ///   only follow its *own* `execute_batch`. So the runner's state when
+    ///   its event replays equals its state at the barrier's start, and
+    ///   the hoisted compute is bit-identical to the inline call.
+    ///
+    /// `Split` runners share optimizer state (triage barriers, merge
+    /// reports) across their sub-leases, whose same-instant events *do*
+    /// interleave with grants reading shard checkpoints — their compute
+    /// stays inline in stage B, at its exact sequential position.
+    fn hoist_batch(
+        &mut self,
+        batch: &[Event],
+        now: f64,
+        exec: &mut ShardedExecutor,
+    ) -> Vec<Option<BatchResult>> {
+        let mut results: Vec<Option<BatchResult>> = (0..batch.len()).map(|_| None).collect();
+        if !exec.is_parallel() {
+            return results;
+        }
+        let mut tasks = Vec::new();
+        for (pos, &event) in batch.iter().enumerate() {
+            let Event::LeaseDone { device, lease } = event else {
+                continue;
+            };
+            let Some(active) = self.leases.active(device) else {
+                continue;
+            };
+            if active.id != lease {
+                continue; // stale expiry: stage B just records it
+            }
+            let (job, job_shard) = (active.job, active.shard());
+            debug_assert!(active.remaining(now) <= 0.0, "expiry event at lease end");
+            if !matches!(self.drivers[job], Some(JobRunner::Single(_))) {
+                continue;
+            }
+            let runner = self.drivers[job].take().expect("matched above");
+            tasks.push(ShardTask {
+                pos,
+                job,
+                job_shard,
+                device,
+                runner,
+            });
+        }
+        for done in exec.run_barrier(tasks) {
+            self.drivers[done.job] = Some(done.runner);
+            results[done.pos] = Some(done.result);
+        }
+        results
     }
 
     /// Applies every decay epoch the virtual clock has crossed since the
@@ -1064,10 +1176,18 @@ impl<'a> Sim<'a> {
         );
     }
 
-    fn on_lease_done(&mut self, device: usize, lease: u64, now: f64) {
+    /// Lease-completion bookkeeping. `hoisted` carries the batch's
+    /// precomputed [`BatchResult`] when stage A already advanced the
+    /// runner on a shard worker; `None` runs the compute inline here (the
+    /// sequential path, and every non-hoist-safe case).
+    fn on_lease_done(&mut self, device: usize, lease: u64, now: f64, hoisted: Option<BatchResult>) {
         let _prof = qoncord_prof::span("engine::lease_done");
         // Expiry of an evicted lease: the device moved on, nothing to do.
         let Some(lease) = self.leases.complete(device, lease) else {
+            debug_assert!(
+                hoisted.is_none(),
+                "a lease live at its barrier's start cannot go stale within the barrier"
+            );
             self.tracer
                 .emit(now, TraceEvent::StaleExpiry { lease, device });
             return;
@@ -1075,11 +1195,15 @@ impl<'a> Sim<'a> {
         let job = lease.job;
         let shard = lease.shard();
         self.in_flight[job].remove(&shard);
-        // The batch's real compute runs now, at its virtual completion.
-        let result = self.drivers[job]
-            .as_mut()
-            .expect("granted job is active")
-            .execute_batch(shard);
+        // The batch's real compute runs now, at its virtual completion —
+        // either spliced in from the barrier's parallel stage or inline.
+        let result = match hoisted {
+            Some(result) => result,
+            None => self.drivers[job]
+                .as_mut()
+                .expect("granted job is active")
+                .execute_batch(shard),
+        };
         debug_assert_eq!(result.fleet_index, device, "driver/queue device mismatch");
         debug_assert!(
             (result.duration - lease.seconds).abs() < 1e-9,

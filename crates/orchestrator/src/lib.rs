@@ -36,7 +36,11 @@
 //!   [`qoncord_cloud::policy::place_job`]), urgency-based lease preemption
 //!   bounded by an anti-starvation eviction budget, virtual-time usage
 //!   decay, and pruning-aware cancellation of reservations when restart
-//!   triage kills work mid-flight.
+//!   triage kills work mid-flight. With
+//!   [`OrchestratorConfig::shards`](engine::OrchestratorConfig::shards)
+//!   above one (or the `QONCORD_SHARDS` env override), each virtual-time
+//!   barrier's batch compute runs on per-device-group worker threads with
+//!   results bit-identical to the sequential engine.
 //! - [`split`] — QuSplit-style restart splitting: one job's restarts
 //!   fanned across same-tier devices as concurrent sub-leases (fan-out
 //!   width chosen from live load), with merges bit-identical to the
@@ -102,6 +106,8 @@
 
 mod driver;
 mod events;
+mod exec;
+mod shard;
 
 pub mod admission;
 pub mod calibration;
