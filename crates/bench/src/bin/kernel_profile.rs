@@ -16,14 +16,20 @@ use qoncord_bench::{fmt, print_table, require_keys, write_csv, ExperimentArgs};
 use qoncord_circuit::coupling::CouplingMap;
 use qoncord_circuit::transpile::transpile;
 use qoncord_cloud::fairshare::{FairShareQueue, QueuedRequest};
+use qoncord_device::catalog;
+use qoncord_device::noise_model::SimulatedBackend;
 use qoncord_orchestrator::LogHistogram;
 use qoncord_prof::Profiler;
 use qoncord_sim::dist::ProbDist;
 use qoncord_sim::gates;
+use qoncord_sim::reference::ScopedReference;
 use qoncord_sim::statevector::StateVector;
+use qoncord_vqa::evaluator::{CostEvaluator, QaoaEvaluator};
 use qoncord_vqa::graph::Graph;
+use qoncord_vqa::maxcut::MaxCut;
 use qoncord_vqa::pauli::{PauliString, PauliSum};
 use qoncord_vqa::qaoa;
+use std::time::Instant;
 
 /// The kernel buckets a span label attributes to, by label prefix.
 const BUCKETS: [(&str, &str); 4] = [
@@ -154,6 +160,73 @@ fn profile_once(qubits: usize, depth: usize, buckets: &mut [(&'static str, Bucke
     }
 }
 
+/// Median of the per-round timings — robust against the scheduler-noise
+/// outliers that a mean over few rounds would absorb.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+/// The fast-vs-reference axis (ROADMAP item 5): wall-clock of a complete
+/// 14-qubit QAOA evaluation — the transpiled-circuit statevector
+/// simulation plus Hamiltonian expectation behind
+/// [`QaoaEvaluator::evaluate`] — on the default fast kernels (gate fusion
+/// with monomial classification, dedicated CX/RZ kernels, batched Pauli
+/// sweeps) against the preserved scalar seed kernels in
+/// [`qoncord_sim::reference`] (generic per-gate matrix sweeps, one masked
+/// pass per Pauli term). The two paths are timed in interleaved rounds and
+/// summarised by their medians so slow-machine drift hits both equally,
+/// and are cross-checked to agree on the energy before the timings are
+/// trusted.
+fn fast_vs_reference(evals: usize) -> (String, f64) {
+    const QUBITS: usize = 14;
+    const LAYERS: usize = 2;
+    let problem = MaxCut::new(ring_graph(QUBITS));
+    let backend = SimulatedBackend::ideal(catalog::ibmq_kolkata());
+    let mut eval = QaoaEvaluator::new(&problem, LAYERS, backend, 0);
+    let params: Vec<f64> = (0..eval.n_params())
+        .map(|i| 0.35 + 0.1 * i as f64)
+        .collect();
+
+    // Warm both paths outside the timed window and cross-check the energy.
+    let energy_fast = eval.evaluate(&params).expectation;
+    let energy_reference = {
+        let _seed = ScopedReference::new();
+        eval.evaluate(&params).expectation
+    };
+    let max_abs_diff = (energy_reference - energy_fast).abs();
+    assert!(
+        max_abs_diff < 1e-9,
+        "fast and reference energies diverged by {max_abs_diff}"
+    );
+
+    let mut fast_t = Vec::with_capacity(evals);
+    let mut ref_t = Vec::with_capacity(evals);
+    for _ in 0..evals {
+        let t0 = Instant::now();
+        eval.evaluate(&params);
+        fast_t.push(t0.elapsed().as_secs_f64());
+        let _seed = ScopedReference::new();
+        let t0 = Instant::now();
+        eval.evaluate(&params);
+        ref_t.push(t0.elapsed().as_secs_f64());
+    }
+    let fast_s = median(fast_t);
+    let reference_s = median(ref_t);
+
+    let speedup = reference_s / fast_s.max(1e-12);
+    let json = format!(
+        "  \"fast_vs_reference\": {{\"qubits\": {QUBITS}, \"layers\": {LAYERS}, \
+         \"evals\": {evals}, \"reference_ms\": {:.3}, \"fast_ms\": {:.3}, \
+         \"speedup\": {:.2}, \"max_abs_diff\": {:.3e}}}",
+        reference_s * 1e3,
+        fast_s * 1e3,
+        speedup,
+        max_abs_diff,
+    );
+    (json, speedup)
+}
+
 fn main() {
     let args = ExperimentArgs::parse();
     let qubit_counts: &[usize] = if args.paper {
@@ -240,9 +313,12 @@ fn main() {
         &rows,
     );
 
+    let (fvr_json, speedup) = fast_vs_reference(args.scale(3, 9));
+    println!("\n14-qubit QAOA evaluation, fast vs reference kernels: {speedup:.2}x");
+
     let json = format!(
         "{{\n  \"experiment\": \"kernel_profile\",\n  \"mode\": \"{}\",\n  \
-         \"seed\": {},\n  \"repetitions\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+         \"seed\": {},\n  \"repetitions\": {},\n{fvr_json},\n  \"sweep\": [\n{}\n  ]\n}}\n",
         if args.paper { "paper" } else { "quick" },
         args.seed,
         reps,
@@ -255,6 +331,13 @@ fn main() {
             "mode",
             "seed",
             "repetitions",
+            "fast_vs_reference",
+            "reference_ms",
+            "fast_ms",
+            "speedup",
+            "max_abs_diff",
+            "evals",
+            "layers",
             "sweep",
             "qubits",
             "depth",

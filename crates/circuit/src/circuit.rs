@@ -2,6 +2,8 @@
 
 use crate::gate::{Gate, GateKind, ResolvedGate};
 use crate::param::{Angle, ParamId};
+use qoncord_sim::fuse::{self, FusedOp};
+use qoncord_sim::reference;
 use qoncord_sim::statevector::StateVector;
 use std::fmt;
 
@@ -198,18 +200,55 @@ impl Circuit {
         self.gates.iter().map(|g| g.resolve(params)).collect()
     }
 
+    /// Lowers the circuit against a parameter vector into the simulator's
+    /// instruction set ([`FusedOp`]). CX and RZ stay symbolic so their
+    /// dedicated kernels — and the [`fuse`] pass — can exploit them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != n_params`.
+    pub fn bind_ops(&self, params: &[f64]) -> Vec<FusedOp> {
+        assert_eq!(
+            params.len(),
+            self.n_params,
+            "expected {} parameters, got {}",
+            self.n_params,
+            params.len()
+        );
+        self.gates
+            .iter()
+            .map(|g| match g.kind {
+                GateKind::Cx => FusedOp::Cx(g.qubits[0], g.qubits[1]),
+                GateKind::Rz => FusedOp::Rz(g.angles[0].resolve(params), g.qubits[0]),
+                _ => match g.resolve(params) {
+                    ResolvedGate::One(u, q) => FusedOp::One(u, q),
+                    ResolvedGate::Two(u, a, b) => FusedOp::Two(u, a, b),
+                },
+            })
+            .collect()
+    }
+
     /// Runs the circuit noise-free from `|0…0⟩` and returns the final state.
+    ///
+    /// The gate sequence is run through [`fuse::fuse`] first, so a transpiled
+    /// layer issues far fewer amplitude sweeps than it has gates. When
+    /// [`reference::forced`] is set the seed path is replayed instead: one
+    /// matrix apply per gate through the scalar reference kernels.
     ///
     /// # Panics
     ///
     /// Panics if `params.len() != n_params`.
     pub fn simulate_ideal(&self, params: &[f64]) -> StateVector {
         let mut sv = StateVector::zero_state(self.n_qubits);
-        for rg in self.bind(params) {
-            match rg {
-                ResolvedGate::One(u, q) => sv.apply_1q(&u, q),
-                ResolvedGate::Two(u, a, b) => sv.apply_2q(&u, a, b),
+        if reference::forced() {
+            for rg in self.bind(params) {
+                match rg {
+                    ResolvedGate::One(u, q) => sv.apply_1q(&u, q),
+                    ResolvedGate::Two(u, a, b) => sv.apply_2q(&u, a, b),
+                }
             }
+        } else {
+            sv.apply_ops(&fuse::fuse(self.n_qubits, self.bind_ops(params)));
         }
         sv
     }

@@ -3,10 +3,10 @@
 //! Qiskit's fake-backend + Aer pipeline.
 
 use crate::calibration::Calibration;
-use qoncord_circuit::gate::{GateKind, ResolvedGate};
 use qoncord_circuit::transpile::TranspiledCircuit;
 use qoncord_sim::density::DensityMatrix;
 use qoncord_sim::dist::ProbDist;
+use qoncord_sim::fuse::FusedOp;
 use qoncord_sim::noise::{NoiseChannel, ReadoutError};
 use qoncord_sim::statevector::StateVector;
 use qoncord_sim::trajectory::{apply_stochastic, TrajectoryAccumulator};
@@ -212,28 +212,17 @@ impl SimulatedBackend {
 
     fn run_density(&self, transpiled: &TranspiledCircuit, params: &[f64]) -> ProbDist {
         let mut rho = DensityMatrix::zero_state(transpiled.circuit.n_qubits());
-        for gate in transpiled.circuit.gates() {
-            // Fast paths for the basis alphabet the transpiler emits; the
-            // general matrix route covers everything else.
-            match gate.kind {
-                GateKind::Cx => {
-                    rho.apply_cx_fast(gate.qubits[0], gate.qubits[1]);
-                    rho.apply_depolarizing_2q(self.noise.dep_2q, gate.qubits[0], gate.qubits[1]);
+        // No fusion on the density path: the kernel-call sequence — and
+        // therefore every bit of the result — matches the seed evolution.
+        for op in transpiled.circuit.bind_ops(params) {
+            rho.apply_op(&op);
+            match op {
+                FusedOp::One(_, q) | FusedOp::Rz(_, q) => {
+                    rho.apply_depolarizing_1q(self.noise.dep_1q, q);
                 }
-                GateKind::Rz => {
-                    rho.apply_rz_fast(gate.angles[0].resolve(params), gate.qubits[0]);
-                    rho.apply_depolarizing_1q(self.noise.dep_1q, gate.qubits[0]);
+                FusedOp::Two(_, a, b) | FusedOp::Cx(a, b) | FusedOp::Mono(_, _, a, b) => {
+                    rho.apply_depolarizing_2q(self.noise.dep_2q, a, b);
                 }
-                _ => match gate.resolve(params) {
-                    ResolvedGate::One(u, q) => {
-                        rho.apply_1q(&u, q);
-                        rho.apply_depolarizing_1q(self.noise.dep_1q, q);
-                    }
-                    ResolvedGate::Two(u, a, b) => {
-                        rho.apply_2q(&u, a, b);
-                        rho.apply_depolarizing_2q(self.noise.dep_2q, a, b);
-                    }
-                },
             }
         }
         rho.probabilities()
@@ -251,42 +240,26 @@ impl SimulatedBackend {
         let ch_1q = NoiseChannel::depolarizing_1q(self.noise.dep_1q);
         let ch_2q = NoiseChannel::depolarizing_2q(self.noise.dep_2q);
         let mut acc = TrajectoryAccumulator::new(n);
+        // Resolve the gate sequence once; every trajectory replays the same
+        // lowered ops (interleaved noise sites pin the op order, so no
+        // fusion — the kernel-call sequence matches the seed bit-for-bit).
+        let ops = transpiled.circuit.bind_ops(params);
         for t in 0..n_trajectories {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
             let mut sv = StateVector::zero_state(n);
-            for gate in transpiled.circuit.gates() {
-                match gate.kind {
-                    GateKind::Cx => {
-                        sv.apply_cx_fast(gate.qubits[0], gate.qubits[1]);
-                        if self.noise.dep_2q > 0.0 {
-                            apply_stochastic(
-                                &mut sv,
-                                &ch_2q,
-                                &[gate.qubits[0], gate.qubits[1]],
-                                &mut rng,
-                            );
-                        }
-                    }
-                    GateKind::Rz => {
-                        sv.apply_rz_fast(gate.angles[0].resolve(params), gate.qubits[0]);
+            for op in &ops {
+                sv.apply_op(op);
+                match *op {
+                    FusedOp::One(_, q) | FusedOp::Rz(_, q) => {
                         if self.noise.dep_1q > 0.0 {
-                            apply_stochastic(&mut sv, &ch_1q, &[gate.qubits[0]], &mut rng);
+                            apply_stochastic(&mut sv, &ch_1q, &[q], &mut rng);
                         }
                     }
-                    _ => match gate.resolve(params) {
-                        ResolvedGate::One(u, q) => {
-                            sv.apply_1q(&u, q);
-                            if self.noise.dep_1q > 0.0 {
-                                apply_stochastic(&mut sv, &ch_1q, &[q], &mut rng);
-                            }
+                    FusedOp::Two(_, a, b) | FusedOp::Cx(a, b) | FusedOp::Mono(_, _, a, b) => {
+                        if self.noise.dep_2q > 0.0 {
+                            apply_stochastic(&mut sv, &ch_2q, &[a, b], &mut rng);
                         }
-                        ResolvedGate::Two(u, a, b) => {
-                            sv.apply_2q(&u, a, b);
-                            if self.noise.dep_2q > 0.0 {
-                                apply_stochastic(&mut sv, &ch_2q, &[a, b], &mut rng);
-                            }
-                        }
-                    },
+                    }
                 }
             }
             acc.add(&sv);

@@ -1876,14 +1876,27 @@ pub mod json {
                     }
                     *pos += 1;
                 }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    *pos += 1;
+                }
                 Some(_) => {
                     // Multi-byte UTF-8 sequences pass through untouched.
-                    let s = &bytes[*pos..];
-                    let c = std::str::from_utf8(s)
-                        .map_err(|_| "invalid utf-8".to_owned())?
-                        .chars()
-                        .next()
-                        .expect("non-empty remainder");
+                    // Decode from a 4-byte window (the longest scalar) —
+                    // validating the whole remainder here would make
+                    // string parsing quadratic in the document size.
+                    let window = &bytes[*pos..(*pos + 4).min(bytes.len())];
+                    let prefix = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // The window may cut a *later* character short;
+                        // any valid prefix still holds the first one.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err("invalid utf-8".to_owned()),
+                    };
+                    let c = prefix.chars().next().expect("non-empty remainder");
                     out.push(c);
                     *pos += c.len_utf8();
                 }

@@ -4,11 +4,25 @@
 //! backend is practical up to roughly 10 qubits; larger registers should use
 //! the [`crate::trajectory`] backend. Gate and channel application follow the
 //! textbook forms `ρ ↦ UρU†` and `ρ ↦ Σᵢ KᵢρKᵢ†`.
+//!
+//! # Kernel layout and determinism
+//!
+//! Gate application runs through cache-blocked fast kernels that enumerate
+//! sweep anchors branch-free and may split row ranges across worker threads
+//! (see [`crate::par`]). Every fast kernel keeps its per-entry arithmetic
+//! expression-identical to the retained scalar seed in [`crate::reference`],
+//! and workers own disjoint rows, so results are **bit-identical** to the
+//! reference kernels at any thread count. The density path never reorders
+//! ops (no fusion), so a density simulation is reproducible bit-for-bit
+//! against the seed.
 
 use crate::dist::ProbDist;
+use crate::fuse::{self, FusedOp};
 use crate::gates::{Mat2, Mat4};
 use crate::math::C64;
 use crate::noise::NoiseChannel;
+use crate::par::{self, expand, SharedAmps};
+use crate::reference;
 use crate::statevector::StateVector;
 
 /// A density matrix `ρ` for an `n`-qubit register, stored row-major.
@@ -89,6 +103,16 @@ impl DensityMatrix {
         self.n_qubits
     }
 
+    /// Borrow of the row-major entry buffer for in-crate kernels.
+    pub(crate) fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major entry buffer for in-crate kernels.
+    pub(crate) fn data_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Entry `ρ[r][c]`.
     pub fn entry(&self, r: usize, c: usize) -> C64 {
         self.data[r * self.dim + c]
@@ -112,34 +136,11 @@ impl DensityMatrix {
     pub fn apply_1q(&mut self, u: &Mat2, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
         let _prof = qoncord_prof::span("sim::dm::apply_1q");
-        let bit = 1usize << q;
         let dim = self.dim;
-        // Left-multiply by U on the row index.
-        for r in 0..dim {
-            if r & bit != 0 {
-                continue;
-            }
-            let r1 = r | bit;
-            for c in 0..dim {
-                let a0 = self.data[r * dim + c];
-                let a1 = self.data[r1 * dim + c];
-                self.data[r * dim + c] = u[0][0] * a0 + u[0][1] * a1;
-                self.data[r1 * dim + c] = u[1][0] * a0 + u[1][1] * a1;
-            }
-        }
-        // Right-multiply by U† on the column index: ρ[r,c] ← Σₖ ρ[r,k]·conj(U[c,k]).
-        for r in 0..dim {
-            let row = &mut self.data[r * dim..(r + 1) * dim];
-            for c in 0..dim {
-                if c & bit != 0 {
-                    continue;
-                }
-                let c1 = c | bit;
-                let a0 = row[c];
-                let a1 = row[c1];
-                row[c] = a0 * u[0][0].conj() + a1 * u[0][1].conj();
-                row[c1] = a0 * u[1][0].conj() + a1 * u[1][1].conj();
-            }
+        if reference::forced() {
+            reference::raw_dm_apply_1q(&mut self.data, dim, u, q);
+        } else {
+            fast_dm_apply_1q(&mut self.data, dim, u, q);
         }
     }
 
@@ -155,44 +156,11 @@ impl DensityMatrix {
             "qubit out of range"
         );
         let _prof = qoncord_prof::span("sim::dm::apply_2q");
-        let b0 = 1usize << q0;
-        let b1 = 1usize << q1;
         let dim = self.dim;
-        // Left-multiply by U.
-        for r in 0..dim {
-            if r & b0 != 0 || r & b1 != 0 {
-                continue;
-            }
-            let idx = [r, r | b0, r | b1, r | b0 | b1];
-            for c in 0..dim {
-                let a = [
-                    self.data[idx[0] * dim + c],
-                    self.data[idx[1] * dim + c],
-                    self.data[idx[2] * dim + c],
-                    self.data[idx[3] * dim + c],
-                ];
-                for (k, &ri) in idx.iter().enumerate() {
-                    self.data[ri * dim + c] =
-                        u[k][0] * a[0] + u[k][1] * a[1] + u[k][2] * a[2] + u[k][3] * a[3];
-                }
-            }
-        }
-        // Right-multiply by U†.
-        for r in 0..dim {
-            let row = &mut self.data[r * dim..(r + 1) * dim];
-            for c in 0..dim {
-                if c & b0 != 0 || c & b1 != 0 {
-                    continue;
-                }
-                let idx = [c, c | b0, c | b1, c | b0 | b1];
-                let a = [row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]];
-                for (k, &ci) in idx.iter().enumerate() {
-                    row[ci] = a[0] * u[k][0].conj()
-                        + a[1] * u[k][1].conj()
-                        + a[2] * u[k][2].conj()
-                        + a[3] * u[k][3].conj();
-                }
-            }
+        if reference::forced() {
+            reference::raw_dm_apply_2q(&mut self.data, dim, u, q0, q1);
+        } else {
+            fast_dm_apply_2q(&mut self.data, dim, u, q0, q1);
         }
     }
 
@@ -250,22 +218,12 @@ impl DensityMatrix {
     pub fn apply_cx_fast(&mut self, c: usize, t: usize) {
         assert!(c != t, "CNOT needs distinct qubits");
         assert!(c < self.n_qubits && t < self.n_qubits, "qubit out of range");
-        let cb = 1usize << c;
-        let tb = 1usize << t;
+        let _prof = qoncord_prof::span("sim::dm::apply_cx");
         let dim = self.dim;
-        let perm = |i: usize| if i & cb != 0 { i ^ tb } else { i };
-        // The permutation is an involution: swap each (r,c) with (π(r),π(c))
-        // exactly once by visiting only representatives with index < image.
-        for r in 0..dim {
-            let pr = perm(r);
-            for col in 0..dim {
-                let pc = perm(col);
-                let src = r * dim + col;
-                let dst = pr * dim + pc;
-                if src < dst {
-                    self.data.swap(src, dst);
-                }
-            }
+        if reference::forced() {
+            reference::raw_dm_apply_cx(&mut self.data, dim, c, t);
+        } else {
+            fast_dm_apply_cx(&mut self.data, dim, c, t);
         }
     }
 
@@ -277,23 +235,32 @@ impl DensityMatrix {
     /// Panics if `q` is out of range.
     pub fn apply_rz_fast(&mut self, theta: f64, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
-        let bit = 1usize << q;
+        let _prof = qoncord_prof::span("sim::dm::apply_rz");
         let dim = self.dim;
-        // rz = diag(e^{-iθ/2}, e^{+iθ/2}); ρ[r,c] picks up phase(r)·conj(phase(c)),
-        // which is e^{+iθ} when (r has bit, c clear), e^{-iθ} mirrored, 1 otherwise.
-        let plus = C64::cis(theta);
-        let minus = C64::cis(-theta);
-        for r in 0..dim {
-            let rbit = r & bit != 0;
-            let row = &mut self.data[r * dim..(r + 1) * dim];
-            for (col, v) in row.iter_mut().enumerate() {
-                let cbit = col & bit != 0;
-                if rbit && !cbit {
-                    *v *= plus;
-                } else if !rbit && cbit {
-                    *v *= minus;
-                }
-            }
+        if reference::forced() {
+            reference::raw_dm_apply_rz(&mut self.data, dim, theta, q);
+        } else {
+            fast_dm_apply_rz(&mut self.data, dim, theta, q);
+        }
+    }
+
+    /// Applies one lowered simulator instruction (the [`crate::fuse`]
+    /// instruction set), routing each variant to its dedicated kernel. The
+    /// density path never fuses, so op order — and therefore every bit of
+    /// the result — matches the unfused reference evolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand qubit is out of range.
+    pub fn apply_op(&mut self, op: &FusedOp) {
+        match op {
+            FusedOp::One(u, q) => self.apply_1q(u, *q),
+            FusedOp::Two(u, a, b) => self.apply_2q(u, *a, *b),
+            FusedOp::Cx(c, t) => self.apply_cx_fast(*c, *t),
+            FusedOp::Rz(theta, q) => self.apply_rz_fast(*theta, *q),
+            // The density path never fuses, so monomial blocks only arrive
+            // from explicitly fused programs; expand to the dense matrix.
+            FusedOp::Mono(d, src, a, b) => self.apply_2q(&fuse::mono_to_mat4(d, src), *a, *b),
         }
     }
 
@@ -313,27 +280,12 @@ impl DensityMatrix {
         if p == 0.0 {
             return;
         }
-        let bit = 1usize << q;
+        let _prof = qoncord_prof::span("sim::dm::depolarizing");
         let dim = self.dim;
-        let keep = 1.0 - p;
-        for r in 0..dim {
-            if r & bit != 0 {
-                continue;
-            }
-            let r1 = r | bit;
-            for c in 0..dim {
-                if c & bit != 0 {
-                    continue;
-                }
-                let c1 = c | bit;
-                let d00 = self.data[r * dim + c];
-                let d11 = self.data[r1 * dim + c1];
-                let mixed = (d00 + d11).scale(0.5 * p);
-                self.data[r * dim + c] = d00.scale(keep) + mixed;
-                self.data[r1 * dim + c1] = d11.scale(keep) + mixed;
-                self.data[r * dim + c1] = self.data[r * dim + c1].scale(keep);
-                self.data[r1 * dim + c] = self.data[r1 * dim + c].scale(keep);
-            }
+        if reference::forced() {
+            reference::raw_dm_depolarizing_1q(&mut self.data, dim, p, q);
+        } else {
+            fast_dm_depolarizing_1q(&mut self.data, dim, p, q);
         }
     }
 
@@ -354,32 +306,12 @@ impl DensityMatrix {
         if p == 0.0 {
             return;
         }
-        let b0 = 1usize << q0;
-        let b1 = 1usize << q1;
+        let _prof = qoncord_prof::span("sim::dm::depolarizing");
         let dim = self.dim;
-        let keep = 1.0 - p;
-        for r in 0..dim {
-            if r & b0 != 0 || r & b1 != 0 {
-                continue;
-            }
-            let ridx = [r, r | b0, r | b1, r | b0 | b1];
-            for c in 0..dim {
-                if c & b0 != 0 || c & b1 != 0 {
-                    continue;
-                }
-                let cidx = [c, c | b0, c | b1, c | b0 | b1];
-                let mut diag_sum = C64::ZERO;
-                for k in 0..4 {
-                    diag_sum += self.data[ridx[k] * dim + cidx[k]];
-                }
-                let mixed = diag_sum.scale(0.25 * p);
-                for (ri, &rr) in ridx.iter().enumerate() {
-                    for (ci, &cc) in cidx.iter().enumerate() {
-                        let v = self.data[rr * dim + cc].scale(keep);
-                        self.data[rr * dim + cc] = if ri == ci { v + mixed } else { v };
-                    }
-                }
-            }
+        if reference::forced() {
+            reference::raw_dm_depolarizing_2q(&mut self.data, dim, p, q0, q1);
+        } else {
+            fast_dm_depolarizing_2q(&mut self.data, dim, p, q0, q1);
         }
     }
 
@@ -417,13 +349,13 @@ impl DensityMatrix {
     }
 }
 
-fn matrix_to_mat2(m: &crate::linalg::Matrix) -> Mat2 {
+pub(crate) fn matrix_to_mat2(m: &crate::linalg::Matrix) -> Mat2 {
     assert_eq!(m.rows(), 2);
     let s = m.as_slice();
     [[s[0], s[1]], [s[2], s[3]]]
 }
 
-fn matrix_to_mat4(m: &crate::linalg::Matrix) -> Mat4 {
+pub(crate) fn matrix_to_mat4(m: &crate::linalg::Matrix) -> Mat4 {
     assert_eq!(m.rows(), 4);
     let s = m.as_slice();
     let mut out = [[C64::ZERO; 4]; 4];
@@ -433,6 +365,371 @@ fn matrix_to_mat4(m: &crate::linalg::Matrix) -> Mat4 {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Fast kernels: branch-free anchor enumeration, rows split across workers.
+// Per-entry arithmetic is expression-identical to `crate::reference`, and
+// workers own disjoint rows, so results are bit-identical to the scalar seed
+// at any thread count. Sequential sweeps (the planner's single-worker case)
+// take a plain slice-indexed path that LLVM can vectorize — same expressions,
+// same bits as the shared-pointer loops, just provably non-aliasing.
+// ---------------------------------------------------------------------------
+
+/// `ρ ↦ UρU†` in two passes: row pairs (left multiply), then per-row column
+/// pairs (right multiply). Parallel over anchor rows / rows.
+fn fast_dm_apply_1q(data: &mut [C64], dim: usize, u: &Mat2, q: usize) {
+    let bit = 1usize << q;
+    if par::plan(dim >> 1) <= 1 {
+        for a in 0..dim >> 1 {
+            let r = expand(a, q);
+            let r1 = r | bit;
+            for c in 0..dim {
+                let a0 = data[r * dim + c];
+                let a1 = data[r1 * dim + c];
+                data[r * dim + c] = u[0][0] * a0 + u[0][1] * a1;
+                data[r1 * dim + c] = u[1][0] * a0 + u[1][1] * a1;
+            }
+        }
+        for r in 0..dim {
+            let base = r * dim;
+            for a in 0..dim >> 1 {
+                let c = expand(a, q);
+                let c1 = c | bit;
+                let a0 = data[base + c];
+                let a1 = data[base + c1];
+                data[base + c] = a0 * u[0][0].conj() + a1 * u[0][1].conj();
+                data[base + c1] = a0 * u[1][0].conj() + a1 * u[1][1].conj();
+            }
+        }
+        return;
+    }
+    let u = *u;
+    let ptr = SharedAmps::new(data);
+    // Left-multiply by U: anchor a maps to the row pair (r, r | bit).
+    par::for_each_range(dim >> 1, |range| {
+        for a in range {
+            let r = expand(a, q);
+            let r1 = r | bit;
+            for c in 0..dim {
+                // SAFETY: rows r and r1 derive 1:1 from this worker's private
+                // anchor range, so no other worker touches them.
+                unsafe {
+                    let a0 = ptr.get(r * dim + c);
+                    let a1 = ptr.get(r1 * dim + c);
+                    ptr.set(r * dim + c, u[0][0] * a0 + u[0][1] * a1);
+                    ptr.set(r1 * dim + c, u[1][0] * a0 + u[1][1] * a1);
+                }
+            }
+        }
+    });
+    // Right-multiply by U† on the column index: ρ[r,c] ← Σₖ ρ[r,k]·conj(U[c,k]).
+    par::for_each_range(dim, |range| {
+        for r in range {
+            let base = r * dim;
+            for a in 0..dim >> 1 {
+                let c = expand(a, q);
+                let c1 = c | bit;
+                // SAFETY: row r belongs to this worker's private range.
+                unsafe {
+                    let a0 = ptr.get(base + c);
+                    let a1 = ptr.get(base + c1);
+                    ptr.set(base + c, a0 * u[0][0].conj() + a1 * u[0][1].conj());
+                    ptr.set(base + c1, a0 * u[1][0].conj() + a1 * u[1][1].conj());
+                }
+            }
+        }
+    });
+}
+
+/// Two-qubit `ρ ↦ UρU†` (basis `|q1 q0⟩`): row quartets then per-row column
+/// quartets, anchors enumerated branch-free.
+fn fast_dm_apply_2q(data: &mut [C64], dim: usize, u: &Mat4, q0: usize, q1: usize) {
+    let b0 = 1usize << q0;
+    let b1 = 1usize << q1;
+    let (lo, hi) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
+    if par::plan(dim >> 2) <= 1 {
+        for anchor in 0..dim >> 2 {
+            let r = expand(expand(anchor, lo), hi);
+            let idx = [r, r | b0, r | b1, r | b0 | b1];
+            for c in 0..dim {
+                let a = [
+                    data[idx[0] * dim + c],
+                    data[idx[1] * dim + c],
+                    data[idx[2] * dim + c],
+                    data[idx[3] * dim + c],
+                ];
+                for (k, &ri) in idx.iter().enumerate() {
+                    data[ri * dim + c] =
+                        u[k][0] * a[0] + u[k][1] * a[1] + u[k][2] * a[2] + u[k][3] * a[3];
+                }
+            }
+        }
+        for r in 0..dim {
+            let base = r * dim;
+            for anchor in 0..dim >> 2 {
+                let c = expand(expand(anchor, lo), hi);
+                let idx = [c, c | b0, c | b1, c | b0 | b1];
+                let a = [
+                    data[base + idx[0]],
+                    data[base + idx[1]],
+                    data[base + idx[2]],
+                    data[base + idx[3]],
+                ];
+                for (k, &ci) in idx.iter().enumerate() {
+                    data[base + ci] = a[0] * u[k][0].conj()
+                        + a[1] * u[k][1].conj()
+                        + a[2] * u[k][2].conj()
+                        + a[3] * u[k][3].conj();
+                }
+            }
+        }
+        return;
+    }
+    let u = *u;
+    let ptr = SharedAmps::new(data);
+    // Left-multiply by U.
+    par::for_each_range(dim >> 2, |range| {
+        for anchor in range {
+            let r = expand(expand(anchor, lo), hi);
+            let idx = [r, r | b0, r | b1, r | b0 | b1];
+            for c in 0..dim {
+                // SAFETY: the four rows derive 1:1 from this worker's private
+                // anchor range.
+                unsafe {
+                    let a = [
+                        ptr.get(idx[0] * dim + c),
+                        ptr.get(idx[1] * dim + c),
+                        ptr.get(idx[2] * dim + c),
+                        ptr.get(idx[3] * dim + c),
+                    ];
+                    for (k, &ri) in idx.iter().enumerate() {
+                        ptr.set(
+                            ri * dim + c,
+                            u[k][0] * a[0] + u[k][1] * a[1] + u[k][2] * a[2] + u[k][3] * a[3],
+                        );
+                    }
+                }
+            }
+        }
+    });
+    // Right-multiply by U†.
+    par::for_each_range(dim, |range| {
+        for r in range {
+            let base = r * dim;
+            for anchor in 0..dim >> 2 {
+                let c = expand(expand(anchor, lo), hi);
+                let idx = [c, c | b0, c | b1, c | b0 | b1];
+                // SAFETY: row r belongs to this worker's private range.
+                unsafe {
+                    let a = [
+                        ptr.get(base + idx[0]),
+                        ptr.get(base + idx[1]),
+                        ptr.get(base + idx[2]),
+                        ptr.get(base + idx[3]),
+                    ];
+                    for (k, &ci) in idx.iter().enumerate() {
+                        ptr.set(
+                            base + ci,
+                            a[0] * u[k][0].conj()
+                                + a[1] * u[k][1].conj()
+                                + a[2] * u[k][2].conj()
+                                + a[3] * u[k][3].conj(),
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// CNOT on `ρ` as two permutation passes: whole-row swaps for rows with the
+/// control bit set, then per-row column swaps. Pure data movement — the
+/// composition equals the reference's single-pass involution bit-for-bit.
+fn fast_dm_apply_cx(data: &mut [C64], dim: usize, c: usize, t: usize) {
+    let cb = 1usize << c;
+    let tb = 1usize << t;
+    let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+    if par::plan(dim >> 2) <= 1 {
+        for anchor in 0..dim >> 2 {
+            let r = expand(expand(anchor, lo), hi) | cb;
+            let r1 = r | tb;
+            for k in 0..dim {
+                data.swap(r * dim + k, r1 * dim + k);
+            }
+        }
+        for r in 0..dim {
+            let base = r * dim;
+            for anchor in 0..dim >> 2 {
+                let col = expand(expand(anchor, lo), hi) | cb;
+                data.swap(base + col, base + (col | tb));
+            }
+        }
+        return;
+    }
+    let ptr = SharedAmps::new(data);
+    // Pass 1: σ[r][·] = ρ[π(r)][·] — swap row pairs {r, r|tb} where r has
+    // the control bit set and the target bit clear.
+    par::for_each_range(dim >> 2, |range| {
+        for anchor in range {
+            let r = expand(expand(anchor, lo), hi) | cb;
+            let r1 = r | tb;
+            for k in 0..dim {
+                // SAFETY: rows r and r1 derive 1:1 from this worker's
+                // private anchor range.
+                unsafe { ptr.swap(r * dim + k, r1 * dim + k) };
+            }
+        }
+    });
+    // Pass 2: σ'[r][col] = σ[r][π(col)] — per-row column swaps.
+    par::for_each_range(dim, |range| {
+        for r in range {
+            let base = r * dim;
+            for anchor in 0..dim >> 2 {
+                let col = expand(expand(anchor, lo), hi) | cb;
+                // SAFETY: row r belongs to this worker's private range.
+                unsafe { ptr.swap(base + col, base + (col | tb)) };
+            }
+        }
+    });
+}
+
+/// RZ(θ) on `ρ`: conditional diagonal phase per entry, parallel over rows.
+fn fast_dm_apply_rz(data: &mut [C64], dim: usize, theta: f64, q: usize) {
+    let bit = 1usize << q;
+    // rz = diag(e^{-iθ/2}, e^{+iθ/2}); ρ[r,c] picks up phase(r)·conj(phase(c)),
+    // which is e^{+iθ} when (r has bit, c clear), e^{-iθ} mirrored, 1 otherwise.
+    let plus = C64::cis(theta);
+    let minus = C64::cis(-theta);
+    if par::plan(dim) <= 1 {
+        for r in 0..dim {
+            let rbit = r & bit != 0;
+            let f = if rbit { plus } else { minus };
+            let base = r * dim;
+            for a in 0..dim >> 1 {
+                let col = expand(a, q) | if rbit { 0 } else { bit };
+                data[base + col] *= f;
+            }
+        }
+        return;
+    }
+    let ptr = SharedAmps::new(data);
+    par::for_each_range(dim, |range| {
+        for r in range {
+            let rbit = r & bit != 0;
+            let f = if rbit { plus } else { minus };
+            let base = r * dim;
+            for a in 0..dim >> 1 {
+                // Only entries whose row/column bits differ on q change; the
+                // changing column half-space is the one opposite to rbit.
+                let col = expand(a, q) | if rbit { 0 } else { bit };
+                // SAFETY: row r belongs to this worker's private range.
+                unsafe { ptr.set(base + col, ptr.get(base + col) * f) };
+            }
+        }
+    });
+}
+
+/// Closed-form single-qubit depolarizing sweep, parallel over anchor rows.
+fn fast_dm_depolarizing_1q(data: &mut [C64], dim: usize, p: f64, q: usize) {
+    let bit = 1usize << q;
+    let keep = 1.0 - p;
+    if par::plan(dim >> 1) <= 1 {
+        for ar in 0..dim >> 1 {
+            let r = expand(ar, q);
+            let r1 = r | bit;
+            for ac in 0..dim >> 1 {
+                let c = expand(ac, q);
+                let c1 = c | bit;
+                let d00 = data[r * dim + c];
+                let d11 = data[r1 * dim + c1];
+                let mixed = (d00 + d11).scale(0.5 * p);
+                data[r * dim + c] = d00.scale(keep) + mixed;
+                data[r1 * dim + c1] = d11.scale(keep) + mixed;
+                data[r * dim + c1] = data[r * dim + c1].scale(keep);
+                data[r1 * dim + c] = data[r1 * dim + c].scale(keep);
+            }
+        }
+        return;
+    }
+    let ptr = SharedAmps::new(data);
+    par::for_each_range(dim >> 1, |range| {
+        for ar in range {
+            let r = expand(ar, q);
+            let r1 = r | bit;
+            for ac in 0..dim >> 1 {
+                let c = expand(ac, q);
+                let c1 = c | bit;
+                // SAFETY: rows r and r1 derive 1:1 from this worker's
+                // private anchor range.
+                unsafe {
+                    let d00 = ptr.get(r * dim + c);
+                    let d11 = ptr.get(r1 * dim + c1);
+                    let mixed = (d00 + d11).scale(0.5 * p);
+                    ptr.set(r * dim + c, d00.scale(keep) + mixed);
+                    ptr.set(r1 * dim + c1, d11.scale(keep) + mixed);
+                    ptr.set(r * dim + c1, ptr.get(r * dim + c1).scale(keep));
+                    ptr.set(r1 * dim + c, ptr.get(r1 * dim + c).scale(keep));
+                }
+            }
+        }
+    });
+}
+
+/// Closed-form two-qubit depolarizing sweep, parallel over anchor rows.
+fn fast_dm_depolarizing_2q(data: &mut [C64], dim: usize, p: f64, q0: usize, q1: usize) {
+    let b0 = 1usize << q0;
+    let b1 = 1usize << q1;
+    let (lo, hi) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
+    let keep = 1.0 - p;
+    if par::plan(dim >> 2) <= 1 {
+        for ar in 0..dim >> 2 {
+            let r = expand(expand(ar, lo), hi);
+            let ridx = [r, r | b0, r | b1, r | b0 | b1];
+            for ac in 0..dim >> 2 {
+                let c = expand(expand(ac, lo), hi);
+                let cidx = [c, c | b0, c | b1, c | b0 | b1];
+                let mut diag_sum = C64::ZERO;
+                for k in 0..4 {
+                    diag_sum += data[ridx[k] * dim + cidx[k]];
+                }
+                let mixed = diag_sum.scale(0.25 * p);
+                for (ri, &rr) in ridx.iter().enumerate() {
+                    for (ci, &cc) in cidx.iter().enumerate() {
+                        let v = data[rr * dim + cc].scale(keep);
+                        data[rr * dim + cc] = if ri == ci { v + mixed } else { v };
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let ptr = SharedAmps::new(data);
+    par::for_each_range(dim >> 2, |range| {
+        for ar in range {
+            let r = expand(expand(ar, lo), hi);
+            let ridx = [r, r | b0, r | b1, r | b0 | b1];
+            for ac in 0..dim >> 2 {
+                let c = expand(expand(ac, lo), hi);
+                let cidx = [c, c | b0, c | b1, c | b0 | b1];
+                // SAFETY: the four rows derive 1:1 from this worker's
+                // private anchor range.
+                unsafe {
+                    let mut diag_sum = C64::ZERO;
+                    for k in 0..4 {
+                        diag_sum += ptr.get(ridx[k] * dim + cidx[k]);
+                    }
+                    let mixed = diag_sum.scale(0.25 * p);
+                    for (ri, &rr) in ridx.iter().enumerate() {
+                        for (ci, &cc) in cidx.iter().enumerate() {
+                            let v = ptr.get(rr * dim + cc).scale(keep);
+                            ptr.set(rr * dim + cc, if ri == ci { v + mixed } else { v });
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,566 @@
+//! Gate fusion: collapsing adjacent gates into fewer amplitude sweeps.
+//!
+//! The pass consumes a linear op sequence (the lowering of a bound circuit)
+//! and greedily merges, in a single left-to-right scan:
+//!
+//! - **1q runs** — consecutive single-qubit ops on the same wire multiply
+//!   into one [`Mat2`] (pure-RZ runs stay symbolic and just add angles, so
+//!   the diagonal fast path survives);
+//! - **1q × 2q adjacency** — a single-qubit op next to a CX/two-qubit op on
+//!   one of its wires folds into the 4×4 matrix (identity-embedded on the
+//!   untouched wire), in both directions: trailing 1q ops fold into the
+//!   preceding 2q op, and pending lone 1q ops are absorbed by the next 2q op
+//!   that consumes their wire;
+//! - **2q runs on the same pair** — consecutive two-qubit ops on the same
+//!   unordered qubit pair multiply into one [`Mat4`] (this collapses the
+//!   transpiler's `cx·rz·cx` ZZ-interaction blocks and 3-CX SWAP
+//!   decompositions into a single sweep).
+//!
+//! A merge is legal exactly when no intervening op touches the wire being
+//! folded: ops on disjoint wires commute, so folding past them preserves
+//! the circuit's operator product. The pass tracks, per wire, the slot of
+//! the last live op touching it; an op is a fusion candidate only if it is
+//! still the *latest* op on every wire involved.
+//!
+//! Fusion multiplies gate matrices, which reorders floating-point
+//! operations: fused evolution matches unfused evolution to ≤ 1e-12
+//! max-norm (pinned by the kernel-equivalence suite), not bit-for-bit.
+//! Sequences the pass leaves untouched execute bit-identically to
+//! [`crate::reference`].
+
+use crate::gates::{self, mat2_mul, Mat2, Mat4};
+use crate::math::C64;
+
+/// One simulator instruction: the common currency between circuit lowering,
+/// the fusion pass, and [`crate::statevector::StateVector::apply_ops`].
+///
+/// `Cx` and `Rz` stay symbolic (instead of eagerly becoming matrices) so
+/// unfusable occurrences still take their cheap dedicated kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedOp {
+    /// A single-qubit unitary on a qubit.
+    One(Mat2, usize),
+    /// A two-qubit unitary on `(q0, q1)`, acting on the basis `|q1 q0⟩`.
+    Two(Mat4, usize, usize),
+    /// CNOT with control `c`, target `t`.
+    Cx(usize, usize),
+    /// RZ(θ) on a qubit.
+    Rz(f64, usize),
+    /// A *monomial* (permutation-with-phases) two-qubit block on `(q0, q1)`:
+    /// pair basis state `|k⟩` is produced from source state `src[k]` with a
+    /// single phase, `out[k] = d[k] · in[src[k]]`. The fusion pass detects
+    /// this structure in its output — transpiled SWAP chains and
+    /// `cx·rz·cx` ZZ blocks collapse to it (diagonal blocks are the
+    /// `src[k] == k` case) — and the statevector kernel then does 4 complex
+    /// multiplies per quartet instead of a dense 16-term `Mat4` apply.
+    Mono([C64; 4], [u8; 4], usize, usize),
+}
+
+impl FusedOp {
+    /// Validates operands against the register size, failing closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or coinciding qubits.
+    pub fn validate(&self, n_qubits: usize) {
+        match *self {
+            FusedOp::One(_, q) | FusedOp::Rz(_, q) => {
+                assert!(q < n_qubits, "qubit {q} out of range");
+            }
+            FusedOp::Two(_, a, b) | FusedOp::Cx(a, b) => {
+                assert!(a != b, "two-qubit op needs distinct qubits");
+                assert!(a < n_qubits && b < n_qubits, "qubit out of range");
+            }
+            FusedOp::Mono(_, src, a, b) => {
+                assert!(a != b, "two-qubit op needs distinct qubits");
+                assert!(a < n_qubits && b < n_qubits, "qubit out of range");
+                let mut seen = [false; 4];
+                for &s in &src {
+                    assert!(s < 4, "monomial source index {s} out of range");
+                    seen[s as usize] = true;
+                }
+                assert!(
+                    seen.iter().all(|&v| v),
+                    "monomial sources must permute the pair basis"
+                );
+            }
+        }
+    }
+
+    /// The single-qubit matrix of a 1q variant.
+    fn mat2(&self) -> Option<Mat2> {
+        match *self {
+            FusedOp::One(u, _) => Some(u),
+            FusedOp::Rz(theta, _) => Some(gates::rz(theta)),
+            _ => None,
+        }
+    }
+
+    /// The two-qubit matrix of a 2q variant, in its own argument order.
+    fn mat4(&self) -> Option<Mat4> {
+        match *self {
+            FusedOp::Two(u, _, _) => Some(u),
+            FusedOp::Cx(_, _) => Some(gates::cx()),
+            FusedOp::Mono(d, src, _, _) => Some(mono_to_mat4(&d, &src)),
+            _ => None,
+        }
+    }
+}
+
+/// Expands a monomial block back into its dense `Mat4` (row `k` has its
+/// single nonzero `d[k]` in column `src[k]`).
+pub fn mono_to_mat4(d: &[C64; 4], src: &[u8; 4]) -> Mat4 {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for k in 0..4 {
+        out[k][src[k] as usize] = d[k];
+    }
+    out
+}
+
+/// Detects monomial structure: exactly one nonzero per row, the nonzero
+/// columns forming a permutation. Zero-tests are exact (`== 0.0`), so only
+/// *structural* zeros — entries every contributing product vanished for —
+/// qualify; the classification is deterministic, never a rounding judgment.
+fn monomial_structure(u: &Mat4) -> Option<([C64; 4], [u8; 4])> {
+    let mut d = [C64::ZERO; 4];
+    let mut src = [0u8; 4];
+    let mut used = [false; 4];
+    for r in 0..4 {
+        let mut nonzero = None;
+        for c in 0..4 {
+            if u[r][c].re != 0.0 || u[r][c].im != 0.0 {
+                if nonzero.is_some() {
+                    return None;
+                }
+                nonzero = Some(c);
+            }
+        }
+        let c = nonzero?;
+        if used[c] {
+            return None;
+        }
+        used[c] = true;
+        d[r] = u[r][c];
+        src[r] = c as u8;
+    }
+    Some((d, src))
+}
+
+/// 4×4 matrix product `a · b` (apply `b` first, then `a`).
+fn mat4_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = a[r][0] * b[0][c] + a[r][1] * b[1][c] + a[r][2] * b[2][c] + a[r][3] * b[3][c];
+        }
+    }
+    out
+}
+
+/// Re-expresses a 2q matrix given for qubit order `(a, b)` in the order
+/// `(b, a)`: conjugation by the basis-bit swap (index bits 0 ↔ 1).
+fn mat4_swap_order(m: &Mat4) -> Mat4 {
+    const P: [usize; 4] = [0, 2, 1, 3];
+    let mut out = [[C64::ZERO; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[r][c] = m[P[r]][P[c]];
+        }
+    }
+    out
+}
+
+/// Embeds a 1q matrix acting on the *low* basis bit (`q0`): `I ⊗ u`.
+fn embed_low(u: &Mat2) -> Mat4 {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            if r >> 1 == c >> 1 {
+                out[r][c] = u[r & 1][c & 1];
+            }
+        }
+    }
+    out
+}
+
+/// Embeds a 1q matrix acting on the *high* basis bit (`q1`): `u ⊗ I`.
+fn embed_high(u: &Mat2) -> Mat4 {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            if r & 1 == c & 1 {
+                out[r][c] = u[r >> 1][c >> 1];
+            }
+        }
+    }
+    out
+}
+
+/// Embeds `u` on wire `q` of the ordered pair `(q0, q1)`.
+fn embed_on(u: &Mat2, q: usize, q0: usize, q1: usize) -> Mat4 {
+    debug_assert!(q == q0 || q == q1);
+    if q == q0 {
+        embed_low(u)
+    } else {
+        embed_high(u)
+    }
+}
+
+/// Fuses an op sequence for an `n_qubits` register (see the module docs for
+/// the merge rules). The output applies the same operator product as the
+/// input, in far fewer sweeps on transpiled circuits.
+///
+/// # Panics
+///
+/// Panics (fail-closed) if any op references an out-of-range qubit or a
+/// two-qubit op with coinciding qubits.
+pub fn fuse(n_qubits: usize, ops: impl IntoIterator<Item = FusedOp>) -> Vec<FusedOp> {
+    let _prof = qoncord_prof::span("sim::fuse::plan");
+    // Ops merged into a later slot leave a `None` tombstone behind; the
+    // surviving sequence is the flattened slot vector.
+    let mut slots: Vec<Option<FusedOp>> = Vec::new();
+    // Slot of the last live op touching each wire (never a tombstone).
+    let mut last: Vec<Option<usize>> = vec![None; n_qubits];
+    for op in ops {
+        op.validate(n_qubits);
+        match op {
+            FusedOp::One(..) | FusedOp::Rz(..) => fuse_1q(&mut slots, &mut last, op),
+            FusedOp::Two(..) | FusedOp::Cx(..) | FusedOp::Mono(..) => {
+                fuse_2q(&mut slots, &mut last, op)
+            }
+        }
+    }
+    // Final classification: merged blocks that came out monomial (SWAP
+    // chains, ZZ-interaction blocks, and their products with RZ runs) take
+    // the cheap permutation-with-phases kernel instead of a dense sweep.
+    slots
+        .into_iter()
+        .flatten()
+        .map(|op| match op {
+            FusedOp::Two(u, a, b) => match monomial_structure(&u) {
+                Some((d, src)) => FusedOp::Mono(d, src, a, b),
+                None => op,
+            },
+            _ => op,
+        })
+        .collect()
+}
+
+/// Folds a 1q op into the latest op on its wire, or emits it.
+fn fuse_1q(slots: &mut Vec<Option<FusedOp>>, last: &mut [Option<usize>], op: FusedOp) {
+    let q = match op {
+        FusedOp::One(_, q) | FusedOp::Rz(_, q) => q,
+        _ => unreachable!("fuse_1q only receives 1q ops"),
+    };
+    let Some(j) = last[q] else {
+        last[q] = Some(slots.len());
+        slots.push(Some(op));
+        return;
+    };
+    // `slots[j]` is the latest op touching q, so no intervening op acts on q
+    // and folding `op` (a left matrix factor) into slot j is order-preserving.
+    let prev = slots[j].expect("last[] points at a live slot");
+    slots[j] = Some(match (prev, op) {
+        (FusedOp::Rz(a, _), FusedOp::Rz(b, _)) => FusedOp::Rz(a + b, q),
+        _ => {
+            let u = op.mat2().expect("1q op");
+            match prev {
+                FusedOp::One(p, _) => FusedOp::One(mat2_mul(&u, &p), q),
+                FusedOp::Rz(th, _) => FusedOp::One(mat2_mul(&u, &gates::rz(th)), q),
+                FusedOp::Two(m, a, b) => FusedOp::Two(mat4_mul(&embed_on(&u, q, a, b), &m), a, b),
+                FusedOp::Cx(c, t) => {
+                    FusedOp::Two(mat4_mul(&embed_on(&u, q, c, t), &gates::cx()), c, t)
+                }
+                FusedOp::Mono(d, src, a, b) => FusedOp::Two(
+                    mat4_mul(&embed_on(&u, q, a, b), &mono_to_mat4(&d, &src)),
+                    a,
+                    b,
+                ),
+            }
+        }
+    });
+}
+
+/// Folds a 2q op into the latest op on its pair, or emits it (absorbing any
+/// pending lone 1q ops on its wires).
+fn fuse_2q(slots: &mut Vec<Option<FusedOp>>, last: &mut [Option<usize>], op: FusedOp) {
+    let (a, b) = match op {
+        FusedOp::Two(_, a, b) | FusedOp::Cx(a, b) | FusedOp::Mono(_, _, a, b) => (a, b),
+        _ => unreachable!("fuse_2q only receives 2q ops"),
+    };
+    // Same unordered pair at the latest slot touching either wire: multiply
+    // into one Mat4. `slots[j]` touching both wires at the max slot implies
+    // it is the latest op on both, so the in-place product is in order.
+    let j = match (last[a], last[b]) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    };
+    if let Some(j) = j {
+        let prev = slots[j].expect("last[] points at a live slot");
+        let pair = match prev {
+            FusedOp::Two(_, x, y) | FusedOp::Cx(x, y) | FusedOp::Mono(_, _, x, y) => Some((x, y)),
+            _ => None,
+        };
+        if let Some((x, y)) = pair {
+            if (x == a && y == b) || (x == b && y == a) {
+                let n = op.mat4().expect("2q op");
+                let n = if (a, b) == (x, y) {
+                    n
+                } else {
+                    mat4_swap_order(&n)
+                };
+                let m = prev.mat4().expect("2q op");
+                slots[j] = Some(FusedOp::Two(mat4_mul(&n, &m), x, y));
+                return;
+            }
+        }
+    }
+    // Emit. A pending *lone 1q* op on either wire commutes forward to this
+    // point (nothing after it touches its wire), so absorb it as a right
+    // matrix factor and tombstone its slot.
+    let mut fused: Option<Mat4> = None;
+    for x in [a, b] {
+        if let Some(k) = last[x] {
+            let pending = slots[k].expect("last[] points at a live slot");
+            if let Some(u) = pending.mat2() {
+                let m = fused.get_or_insert_with(|| op.mat4().expect("2q op"));
+                *m = mat4_mul(m, &embed_on(&u, x, a, b));
+                slots[k] = None;
+            }
+        }
+    }
+    let pos = slots.len();
+    last[a] = Some(pos);
+    last[b] = Some(pos);
+    slots.push(Some(match fused {
+        Some(m) => FusedOp::Two(m, a, b),
+        None => op,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    /// Applies ops one by one through the scalar reference kernels.
+    fn apply_reference(n: usize, ops: &[FusedOp]) -> StateVector {
+        let mut sv = StateVector::zero_state(n);
+        for op in ops {
+            match *op {
+                FusedOp::One(u, q) => crate::reference::sv_apply_1q(&mut sv, &u, q),
+                FusedOp::Two(u, a, b) => crate::reference::sv_apply_2q(&mut sv, &u, a, b),
+                FusedOp::Cx(c, t) => crate::reference::sv_apply_cx(&mut sv, c, t),
+                FusedOp::Rz(th, q) => crate::reference::sv_apply_rz(&mut sv, th, q),
+                FusedOp::Mono(d, src, a, b) => {
+                    crate::reference::sv_apply_2q(&mut sv, &mono_to_mat4(&d, &src), a, b)
+                }
+            }
+        }
+        sv
+    }
+
+    fn apply_fused(n: usize, ops: Vec<FusedOp>) -> (StateVector, usize) {
+        let fused = fuse(n, ops);
+        let mut sv = StateVector::zero_state(n);
+        sv.apply_ops(&fused);
+        (sv, fused.len())
+    }
+
+    fn assert_close(a: &StateVector, b: &StateVector) {
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-12), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn single_wire_run_collapses_to_one_op() {
+        let ops = vec![
+            FusedOp::One(gates::h(), 0),
+            FusedOp::Rz(0.3, 0),
+            FusedOp::One(gates::sx(), 0),
+            FusedOp::Rz(-1.1, 0),
+        ];
+        let reference = apply_reference(1, &ops);
+        let (fused, n_ops) = apply_fused(1, ops);
+        assert_eq!(n_ops, 1);
+        assert_close(&fused, &reference);
+    }
+
+    #[test]
+    fn pure_rz_runs_stay_symbolic() {
+        let fused = fuse(2, vec![FusedOp::Rz(0.25, 1), FusedOp::Rz(0.5, 1)]);
+        assert_eq!(fused, vec![FusedOp::Rz(0.75, 1)]);
+    }
+
+    #[test]
+    fn zz_block_becomes_one_sweep() {
+        // The transpiler's RZZ lowering: cx · rz(t) · cx, with the H layer
+        // absorbed from both wires and the mixer folded in after.
+        let ops = vec![
+            FusedOp::One(gates::h(), 0),
+            FusedOp::One(gates::h(), 1),
+            FusedOp::Cx(0, 1),
+            FusedOp::Rz(0.7, 1),
+            FusedOp::Cx(0, 1),
+            FusedOp::One(gates::sx(), 0),
+        ];
+        let reference = apply_reference(2, &ops);
+        let (fused, n_ops) = apply_fused(2, ops);
+        assert_eq!(n_ops, 1, "H layer, ZZ block, and mixer all fold together");
+        assert_close(&fused, &reference);
+    }
+
+    #[test]
+    fn swap_decomposition_collapses() {
+        // Three alternating CX = SWAP; the same unordered pair merges across
+        // argument order.
+        let ops = vec![FusedOp::Cx(2, 0), FusedOp::Cx(0, 2), FusedOp::Cx(2, 0)];
+        let mut seed = StateVector::zero_state(3);
+        crate::reference::sv_apply_1q(&mut seed, &gates::h(), 0);
+        crate::reference::sv_apply_1q(&mut seed, &gates::ry(0.4), 2);
+        let mut reference = seed.clone();
+        for op in &ops {
+            if let FusedOp::Cx(c, t) = *op {
+                crate::reference::sv_apply_cx(&mut reference, c, t);
+            }
+        }
+        let fused = fuse(3, ops);
+        assert_eq!(fused.len(), 1);
+        assert!(
+            matches!(fused[0], FusedOp::Mono(..)),
+            "a SWAP is a pure basis permutation and must classify as Mono"
+        );
+        let mut fast = seed;
+        fast.apply_ops(&fused);
+        assert_close(&fast, &reference);
+    }
+
+    #[test]
+    fn bare_zz_block_classifies_as_diagonal_mono() {
+        // cx · rz · cx with no dense 1q absorption is diagonal: the
+        // classification pass must emit a Mono with the identity source
+        // permutation (src[k] == k).
+        let ops = vec![FusedOp::Cx(0, 1), FusedOp::Rz(0.7, 1), FusedOp::Cx(0, 1)];
+        let reference = apply_reference(2, &ops);
+        let fused = fuse(2, ops);
+        assert_eq!(fused.len(), 1);
+        match fused[0] {
+            FusedOp::Mono(_, src, _, _) => assert_eq!(src, [0, 1, 2, 3], "ZZ block is diagonal"),
+            ref op => panic!("expected Mono, got {op:?}"),
+        }
+        let mut fast = StateVector::zero_state(2);
+        fast.apply_ops(&fused);
+        assert_close(&fast, &reference);
+    }
+
+    #[test]
+    fn mono_matrix_round_trips_through_classification() {
+        let d = [
+            C64::new(0.6, 0.8),
+            C64::new(0.0, 1.0),
+            C64::new(-1.0, 0.0),
+            C64::new(0.8, -0.6),
+        ];
+        let src = [2u8, 0, 3, 1];
+        let recovered = monomial_structure(&mono_to_mat4(&d, &src))
+            .expect("a monomial matrix must classify as monomial");
+        assert_eq!(recovered.1, src);
+        for (a, b) in recovered.0.iter().zip(&d) {
+            assert_eq!(a, b, "phases survive the round trip exactly");
+        }
+    }
+
+    #[test]
+    fn dense_block_does_not_classify_as_mono() {
+        // An H⊗I embedding has two nonzeros per row: never monomial.
+        assert!(monomial_structure(&embed_on(&gates::h(), 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "permute")]
+    fn mono_with_duplicate_sources_fails_closed() {
+        let d = [C64::ONE; 4];
+        FusedOp::Mono(d, [0, 0, 2, 3], 0, 1).validate(2);
+    }
+
+    #[test]
+    fn disjoint_wires_pass_through_untouched() {
+        let ops = vec![
+            FusedOp::One(gates::h(), 0),
+            FusedOp::One(gates::h(), 1),
+            FusedOp::Cx(2, 3),
+        ];
+        let fused = fuse(4, ops.clone());
+        assert_eq!(fused, ops);
+    }
+
+    #[test]
+    fn one_q_after_two_q_folds_back() {
+        let ops = vec![
+            FusedOp::Two(gates::rzz(0.9), 1, 0),
+            FusedOp::One(gates::t(), 0),
+            FusedOp::Rz(0.2, 1),
+        ];
+        let mut seed = StateVector::zero_state(2);
+        crate::reference::sv_apply_1q(&mut seed, &gates::h(), 0);
+        crate::reference::sv_apply_1q(&mut seed, &gates::h(), 1);
+        let mut reference = seed.clone();
+        for op in &ops {
+            match *op {
+                FusedOp::Two(u, a, b) => crate::reference::sv_apply_2q(&mut reference, &u, a, b),
+                FusedOp::One(u, q) => crate::reference::sv_apply_1q(&mut reference, &u, q),
+                FusedOp::Rz(th, q) => crate::reference::sv_apply_rz(&mut reference, th, q),
+                _ => unreachable!(),
+            }
+        }
+        let fused = fuse(2, ops);
+        assert_eq!(fused.len(), 1);
+        let mut fast = seed;
+        fast.apply_ops(&fused);
+        assert_close(&fast, &reference);
+    }
+
+    #[test]
+    fn interleaved_other_wire_blocks_merge_on_shared_wire_only() {
+        // The 1q ops on wire 0 merge (nothing between them touches wire 0);
+        // the CX on disjoint wires stays separate.
+        let ops = vec![
+            FusedOp::One(gates::h(), 0),
+            FusedOp::Cx(1, 2),
+            FusedOp::One(gates::t(), 0),
+        ];
+        let reference = apply_reference(3, &ops);
+        let (fused, n_ops) = apply_fused(3, ops);
+        assert_eq!(n_ops, 2);
+        assert_close(&fused, &reference);
+    }
+
+    #[test]
+    fn pending_1q_absorbed_by_half_overlapping_cx_chain() {
+        // Cx(0,1) then Cx(1,2): different pairs, so no 2q merge — but the
+        // pending H(2) is absorbed by the second CX.
+        let ops = vec![
+            FusedOp::One(gates::h(), 2),
+            FusedOp::Cx(0, 1),
+            FusedOp::Cx(1, 2),
+        ];
+        let reference = apply_reference(3, &ops);
+        let (fused, n_ops) = apply_fused(3, ops);
+        assert_eq!(n_ops, 2);
+        assert_close(&fused, &reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_fails_closed() {
+        fuse(2, vec![FusedOp::Rz(0.1, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn coinciding_two_qubit_operands_fail_closed() {
+        fuse(3, vec![FusedOp::Cx(1, 1)]);
+    }
+}

@@ -19,6 +19,10 @@
 //!   classical readout error.
 //! - [`dist`] — outcome distributions with the statistics Qoncord's adaptive
 //!   convergence checker uses (Shannon entropy, Hellinger fidelity).
+//! - [`fuse`] — gate fusion collapsing adjacent gates into fewer sweeps.
+//! - [`par`] — deterministic chunked std-thread parallelism for the kernels.
+//! - [`mod@reference`] — the retained scalar seed kernels the fast paths are
+//!   differentially tested against (and a global switch to force them).
 //!
 //! ## Example
 //!
@@ -40,10 +44,13 @@
 
 pub mod density;
 pub mod dist;
+pub mod fuse;
 pub mod gates;
 pub mod linalg;
 pub mod math;
 pub mod noise;
+pub mod par;
+pub mod reference;
 pub mod statevector;
 pub mod trajectory;
 

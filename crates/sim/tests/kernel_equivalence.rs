@@ -1,0 +1,375 @@
+//! Differential kernel-equivalence suite: the fast simulator kernels
+//! (chunked-parallel sweeps, gate fusion) against the scalar seed kernels
+//! preserved in `qoncord_sim::reference`.
+//!
+//! Contract under test (see `docs/ARCHITECTURE.md`):
+//!
+//! * **Unfused fast vs reference: bit-identical.** The fast kernels keep the
+//!   per-amplitude arithmetic expression-identical to the seed loops, so with
+//!   the op sequence unchanged every output amplitude matches to the last
+//!   bit (`f64::to_bits` equality), at *any* thread count.
+//! * **Fused vs reference: ≤ 1e-12 max-norm.** Fusion reorders floating-point
+//!   operations (matrix products are pre-multiplied), so equality is only up
+//!   to rounding.
+//! * **Fail-closed:** out-of-range or coinciding qubit indices panic in every
+//!   build profile, not just debug.
+//!
+//! Every test here flips process-global switches (reference forcing, thread
+//! configuration), so they all serialize on one mutex.
+
+use proptest::prelude::*;
+use qoncord_sim::density::DensityMatrix;
+use qoncord_sim::fuse::{self, FusedOp};
+use qoncord_sim::gates;
+use qoncord_sim::math::C64;
+use qoncord_sim::noise::NoiseChannel;
+use qoncord_sim::par;
+use qoncord_sim::reference::ScopedReference;
+use qoncord_sim::statevector::StateVector;
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Scoped thread configuration; restores the sequential default on drop.
+struct Threads;
+
+impl Threads {
+    fn set(threads: usize, min_items: usize) -> Self {
+        par::set_threads(threads);
+        par::set_min_items_per_thread(min_items);
+        Threads
+    }
+}
+
+impl Drop for Threads {
+    fn drop(&mut self) {
+        par::set_threads(1);
+        par::set_min_items_per_thread(par::DEFAULT_MIN_ITEMS_PER_THREAD);
+    }
+}
+
+/// Random gate program encoded as opcodes, decoded by [`to_fused`].
+fn program(n: usize, len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
+    proptest::collection::vec((0u8..6, 0..n, 0..n, -3.2..3.2f64), 1..len)
+}
+
+/// Decodes an opcode program into `FusedOp`s (requires `n ≥ 2`).
+fn to_fused(n: usize, ops: &[(u8, usize, usize, f64)]) -> Vec<FusedOp> {
+    ops.iter()
+        .map(|&(op, a, b, angle)| {
+            let b = if a == b { (a + 1) % n } else { b };
+            match op {
+                0 => FusedOp::One(gates::h(), a),
+                1 => FusedOp::One(gates::rx(angle), a),
+                2 => FusedOp::Rz(angle, a),
+                3 => FusedOp::Cx(a, b),
+                4 => FusedOp::Two(gates::rzz(angle), a, b),
+                _ => FusedOp::One(gates::ry(angle), a),
+            }
+        })
+        .collect()
+}
+
+fn run_sv(n: usize, ops: &[FusedOp]) -> StateVector {
+    let mut sv = StateVector::zero_state(n);
+    sv.apply_ops(ops);
+    sv
+}
+
+fn run_dm(n: usize, ops: &[FusedOp]) -> DensityMatrix {
+    let mut rho = DensityMatrix::zero_state(n);
+    for op in ops {
+        rho.apply_op(op);
+    }
+    rho
+}
+
+fn assert_bits_eq(a: &[C64], b: &[C64], what: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{what}: entry {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+fn max_norm_diff(a: &[C64], b: &[C64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x + y.scale(-1.0)).norm_sq().sqrt())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fast statevector kernels replay the exact seed arithmetic:
+    /// bit-identical when the op sequence is unchanged.
+    #[test]
+    fn sv_fast_matches_reference_bitwise(ops in program(5, 24)) {
+        let _lock = exclusive();
+        let ops = to_fused(5, &ops);
+        let fast = run_sv(5, &ops);
+        let reference = {
+            let _guard = ScopedReference::new();
+            run_sv(5, &ops)
+        };
+        assert_bits_eq(fast.amplitudes(), reference.amplitudes(), "sv fast vs reference");
+    }
+
+    /// Fused programs agree with the reference up to rounding (fusion
+    /// pre-multiplies matrices, which reorders floating-point ops).
+    #[test]
+    fn sv_fused_matches_reference_in_max_norm(ops in program(6, 32)) {
+        let _lock = exclusive();
+        let ops = to_fused(6, &ops);
+        let fused = run_sv(6, &fuse::fuse(6, ops.iter().copied()));
+        let reference = {
+            let _guard = ScopedReference::new();
+            run_sv(6, &ops)
+        };
+        let d = max_norm_diff(fused.amplitudes(), reference.amplitudes());
+        prop_assert!(d <= 1e-12, "max-norm diff {d}");
+    }
+
+    /// The chunked-parallel path is bit-identical across thread counts.
+    #[test]
+    fn sv_thread_count_does_not_change_bits(ops in program(6, 24)) {
+        let _lock = exclusive();
+        let ops = to_fused(6, &ops);
+        let runs: Vec<StateVector> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                let _cfg = Threads::set(t, 16);
+                run_sv(6, &ops)
+            })
+            .collect();
+        assert_bits_eq(runs[0].amplitudes(), runs[1].amplitudes(), "sv 1 vs 2 threads");
+        assert_bits_eq(runs[0].amplitudes(), runs[2].amplitudes(), "sv 1 vs 4 threads");
+    }
+
+    /// Density-matrix fast kernels are bit-identical to the seed loops.
+    #[test]
+    fn dm_fast_matches_reference_bitwise(ops in program(4, 16)) {
+        let _lock = exclusive();
+        let ops = to_fused(4, &ops);
+        let fast = run_dm(4, &ops);
+        let reference = {
+            let _guard = ScopedReference::new();
+            run_dm(4, &ops)
+        };
+        for r in 0..1 << 4 {
+            for c in 0..1 << 4 {
+                let (x, y) = (fast.entry(r, c), reference.entry(r, c));
+                prop_assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "dm entry ({r},{c}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    /// Density-matrix evolution with noise channels interleaved is
+    /// bit-identical across thread counts and matches the reference.
+    #[test]
+    fn dm_channels_match_reference_and_threads(
+        ops in program(3, 10),
+        p in 0.0..0.3f64,
+        q in 0..3usize,
+    ) {
+        let _lock = exclusive();
+        let ops = to_fused(3, &ops);
+        let build = || {
+            let mut rho = run_dm(3, &ops);
+            rho.apply_channel(&NoiseChannel::depolarizing_1q(p), &[q]);
+            rho.apply_depolarizing_1q(p, q);
+            rho.apply_depolarizing_2q(p, 0, 2);
+            rho
+        };
+        let fast = build();
+        let reference = {
+            let _guard = ScopedReference::new();
+            build()
+        };
+        let threaded = {
+            let _cfg = Threads::set(4, 8);
+            build()
+        };
+        for r in 0..1 << 3 {
+            for c in 0..1 << 3 {
+                let (x, y, z) = (fast.entry(r, c), reference.entry(r, c), threaded.entry(r, c));
+                prop_assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "dm+noise fast vs reference at ({r},{c}): {x} vs {y}"
+                );
+                prop_assert!(
+                    x.re.to_bits() == z.re.to_bits() && x.im.to_bits() == z.im.to_bits(),
+                    "dm+noise 1 vs 4 threads at ({r},{c}): {x} vs {z}"
+                );
+            }
+        }
+    }
+
+    /// Fusion preserves semantics on larger registers too (12 qubits, the
+    /// ceiling the issue pins for the differential suite).
+    #[test]
+    fn sv_fused_matches_reference_at_12_qubits(ops in program(12, 20)) {
+        let _lock = exclusive();
+        let ops = to_fused(12, &ops);
+        let fused = run_sv(12, &fuse::fuse(12, ops.iter().copied()));
+        let unfused = run_sv(12, &ops);
+        let d = max_norm_diff(fused.amplitudes(), unfused.amplitudes());
+        prop_assert!(d <= 1e-12, "max-norm diff {d}");
+    }
+}
+
+/// `apply_2q` with descending qubit arguments (`q0 > q1`) must agree with
+/// the reference kernel bit-for-bit — this order used to exercise a latent
+/// anchor-enumeration edge case in the blocked fast path.
+#[test]
+fn sv_apply_2q_descending_qubit_order_matches_reference() {
+    let _lock = exclusive();
+    let prep = [
+        FusedOp::One(gates::h(), 0),
+        FusedOp::One(gates::ry(0.7), 2),
+        FusedOp::Cx(0, 3),
+        FusedOp::One(gates::rx(-1.1), 3),
+    ];
+    for (q0, q1) in [(3usize, 1usize), (2, 0), (3, 0), (1, 0)] {
+        let mut fast = run_sv(4, &prep);
+        fast.apply_2q(&gates::rzz(0.9), q0, q1);
+        fast.apply_2q(&gates::cx(), q0, q1);
+        let mut reference = {
+            let _guard = ScopedReference::new();
+            let mut sv = run_sv(4, &prep);
+            sv.apply_2q(&gates::rzz(0.9), q0, q1);
+            sv.apply_2q(&gates::cx(), q0, q1);
+            sv
+        };
+        assert_bits_eq(
+            fast.amplitudes(),
+            reference.amplitudes(),
+            &format!("apply_2q({q0},{q1})"),
+        );
+        // And the matrix form of CX with swapped args equals the dedicated
+        // permutation kernel.
+        reference.apply_cx_fast(q0, q1);
+        let mut via_kernel = fast.clone();
+        via_kernel.apply_cx_fast(q0, q1);
+        let mut via_matrix = fast;
+        via_matrix.apply_2q(&gates::cx(), q0, q1);
+        let d = max_norm_diff(via_kernel.amplitudes(), via_matrix.amplitudes());
+        assert!(d <= 1e-12, "cx kernel vs matrix ({q0},{q1}): {d}");
+    }
+}
+
+#[test]
+fn dm_apply_2q_descending_qubit_order_matches_reference() {
+    let _lock = exclusive();
+    let prep = [
+        FusedOp::One(gates::h(), 1),
+        FusedOp::Cx(1, 2),
+        FusedOp::Rz(0.4, 0),
+    ];
+    for (q0, q1) in [(2usize, 0usize), (1, 0), (2, 1)] {
+        let fast = {
+            let mut rho = run_dm(3, &prep);
+            rho.apply_2q(&gates::rzz(1.3), q0, q1);
+            rho
+        };
+        let reference = {
+            let _guard = ScopedReference::new();
+            let mut rho = run_dm(3, &prep);
+            rho.apply_2q(&gates::rzz(1.3), q0, q1);
+            rho
+        };
+        for r in 0..1 << 3 {
+            for c in 0..1 << 3 {
+                let (x, y) = (fast.entry(r, c), reference.entry(r, c));
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "dm apply_2q({q0},{q1}) at ({r},{c}): {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// Fused programs replayed through `apply_ops` are themselves thread-count
+/// invariant: fusion fixes the op sequence before any sweep runs.
+#[test]
+fn fused_program_is_thread_count_invariant() {
+    let _lock = exclusive();
+    let ops = to_fused(
+        7,
+        &[
+            (0, 0, 0, 0.0),
+            (3, 0, 4, 0.0),
+            (2, 4, 4, 0.8),
+            (3, 0, 4, 0.0),
+            (4, 2, 6, -1.2),
+            (1, 3, 3, 2.2),
+            (5, 5, 5, 0.3),
+            (3, 6, 1, 0.0),
+        ],
+    );
+    let fused = fuse::fuse(7, ops);
+    let runs: Vec<StateVector> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            let _cfg = Threads::set(t, 16);
+            run_sv(7, &fused)
+        })
+        .collect();
+    assert_bits_eq(
+        runs[0].amplitudes(),
+        runs[1].amplitudes(),
+        "fused 1 vs 2 threads",
+    );
+    assert_bits_eq(
+        runs[0].amplitudes(),
+        runs[2].amplitudes(),
+        "fused 1 vs 4 threads",
+    );
+}
+
+// Fail-closed index validation: release builds must panic too (these tests
+// run under whatever profile CI picks, including --release).
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn sv_apply_1q_rejects_out_of_range_qubit() {
+    let mut sv = StateVector::zero_state(3);
+    sv.apply_1q(&gates::h(), 3);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn sv_apply_2q_rejects_out_of_range_qubit() {
+    let mut sv = StateVector::zero_state(3);
+    sv.apply_2q(&gates::cx(), 1, 5);
+}
+
+#[test]
+#[should_panic(expected = "distinct")]
+fn sv_apply_2q_rejects_coinciding_qubits() {
+    let mut sv = StateVector::zero_state(3);
+    sv.apply_2q(&gates::rzz(0.1), 2, 2);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn dm_apply_rz_rejects_out_of_range_qubit() {
+    let mut rho = DensityMatrix::zero_state(2);
+    rho.apply_rz_fast(0.3, 2);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn fused_op_validate_rejects_out_of_range_qubit() {
+    FusedOp::Cx(0, 4).validate(3);
+}

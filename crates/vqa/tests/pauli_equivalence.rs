@@ -1,0 +1,174 @@
+//! Differential equivalence suite for the batched Pauli-expectation sweeps:
+//! the masked fast paths against the seed `O(4^n)` dense-matrix route
+//! (`expectation_sv_reference`) and the sequential per-term scalar path
+//! (`expectation_sv_unbatched`), pinned per QWC group.
+
+use proptest::prelude::*;
+use qoncord_circuit::circuit::Circuit;
+use qoncord_sim::par;
+use qoncord_sim::reference::ScopedReference;
+use qoncord_sim::statevector::StateVector;
+use qoncord_vqa::pauli::{Pauli, PauliString, PauliSum};
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Threads;
+
+impl Threads {
+    fn set(threads: usize, min_items: usize) -> Self {
+        par::set_threads(threads);
+        par::set_min_items_per_thread(min_items);
+        Threads
+    }
+}
+
+impl Drop for Threads {
+    fn drop(&mut self) {
+        par::set_threads(1);
+        par::set_min_items_per_thread(par::DEFAULT_MIN_ITEMS_PER_THREAD);
+    }
+}
+
+fn pauli(code: u8) -> Pauli {
+    match code & 3 {
+        0 => Pauli::I,
+        1 => Pauli::X,
+        2 => Pauli::Y,
+        _ => Pauli::Z,
+    }
+}
+
+/// Random `PauliSum` on `n` qubits, including Y factors and an identity term.
+fn sum_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (-2.0..2.0f64, proptest::collection::vec(0u8..4, n..=n)),
+        1..8,
+    )
+}
+
+fn build_sum(raw: &[(f64, Vec<u8>)]) -> PauliSum {
+    let terms: Vec<(f64, PauliString)> = raw
+        .iter()
+        .map(|(c, codes)| {
+            (
+                *c,
+                PauliString::new(codes.iter().map(|&k| pauli(k)).collect()),
+            )
+        })
+        .collect();
+    PauliSum::new(terms)
+}
+
+/// Random entangled state from an opcode program.
+fn state_strategy(n: usize) -> impl Strategy<Value = Vec<(u8, usize, f64)>> {
+    proptest::collection::vec((0u8..4, 0..n, -3.0..3.0f64), 1..16)
+}
+
+fn build_state(n: usize, ops: &[(u8, usize, f64)]) -> StateVector {
+    let mut qc = Circuit::new(n, 0);
+    for &(op, q, angle) in ops {
+        match op {
+            0 => {
+                qc.h(q);
+            }
+            1 => {
+                qc.ry(q, angle);
+            }
+            2 => {
+                qc.rz(q, angle);
+            }
+            _ => {
+                qc.cx(q, (q + 1) % n);
+            }
+        }
+    }
+    qc.simulate_ideal(&[])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batched masked sweeps match the dense-matrix seed route.
+    #[test]
+    fn batched_matches_dense_reference(
+        raw in sum_strategy(4),
+        ops in state_strategy(4),
+    ) {
+        let _lock = exclusive();
+        let h = build_sum(&raw);
+        let sv = build_state(4, &ops);
+        let dense = h.expectation_sv_reference(&sv);
+        let batched = h.expectation_statevector(&sv);
+        let unbatched = h.expectation_sv_unbatched(&sv);
+        prop_assert!((batched - dense).abs() < 1e-10, "batched {batched} vs dense {dense}");
+        prop_assert!((unbatched - dense).abs() < 1e-10, "unbatched {unbatched} vs dense {dense}");
+    }
+
+    /// Summing one batched sweep per QWC group (plus the identity offset)
+    /// equals both the whole-Hamiltonian sweep and per-term evaluation.
+    #[test]
+    fn group_sweeps_are_pinned_to_per_term_sums(
+        raw in sum_strategy(5),
+        ops in state_strategy(5),
+    ) {
+        let _lock = exclusive();
+        let h = build_sum(&raw);
+        let sv = build_state(5, &ops);
+        let whole = h.expectation_statevector(&sv);
+        let groups = h.qubit_wise_commuting_groups();
+        let by_group: f64 = groups.iter().map(|g| h.expectation_sv_group(g, &sv)).sum::<f64>()
+            + h.identity_offset();
+        let per_term: f64 = groups
+            .iter()
+            .flatten()
+            .map(|&i| h.expectation_sv_group(&[i], &sv))
+            .sum::<f64>()
+            + h.identity_offset();
+        prop_assert!((by_group - whole).abs() < 1e-10, "groups {by_group} vs whole {whole}");
+        prop_assert!((per_term - whole).abs() < 1e-10, "terms {per_term} vs whole {whole}");
+    }
+
+    /// The chunked reduction makes batched expectations bit-identical at any
+    /// thread count.
+    #[test]
+    fn expectation_is_bit_identical_across_thread_counts(
+        raw in sum_strategy(6),
+        ops in state_strategy(6),
+    ) {
+        let _lock = exclusive();
+        let h = build_sum(&raw);
+        let sv = build_state(6, &ops);
+        let runs: Vec<f64> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                let _cfg = Threads::set(t, 8);
+                h.expectation_statevector(&sv)
+            })
+            .collect();
+        prop_assert!(runs[0].to_bits() == runs[1].to_bits(), "1 vs 2 threads");
+        prop_assert!(runs[0].to_bits() == runs[2].to_bits(), "1 vs 4 threads");
+    }
+
+    /// Reference mode routes to the scalar path and stays within rounding of
+    /// the batched result.
+    #[test]
+    fn reference_mode_matches_batched(
+        raw in sum_strategy(4),
+        ops in state_strategy(4),
+    ) {
+        let _lock = exclusive();
+        let h = build_sum(&raw);
+        let sv = build_state(4, &ops);
+        let fast = h.expectation_statevector(&sv);
+        let forced = {
+            let _guard = ScopedReference::new();
+            h.expectation_statevector(&sv)
+        };
+        prop_assert!((fast - forced).abs() < 1e-12, "fast {fast} vs forced {forced}");
+    }
+}
